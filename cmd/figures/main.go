@@ -1,0 +1,119 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation on the simulated Rock machine.
+//
+// Usage:
+//
+//	figures -exp all                 # everything (several minutes)
+//	figures -exp fig1a,fig2b         # selected experiments
+//	figures -exp fig4 -msf-dim 96    # a bigger roadmap
+//	figures -ops 20000               # more operations per thread
+//	figures -csv                     # machine-readable output too
+//
+// Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
+// divide inline treemap volano fig4 msfse profile, plus the ablations
+// ablate-retry (PhTM retry budget), ablate-ucti (UCTI failure weight) and
+// ablate-throttle (adaptive concurrency throttling extension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rocktm/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		opsFlag  = flag.Int("ops", 4000, "operations per thread")
+		thrFlag  = flag.String("threads", "1,2,3,4,6,8,12,16", "thread counts")
+		seedFlag = flag.Uint64("seed", 1, "experiment seed")
+		csvFlag  = flag.Bool("csv", false, "also emit CSV rows")
+		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
+		profOps  = flag.Int("profile-ops", 1500, "operations for the Section 6.1 profile")
+	)
+	flag.Parse()
+
+	threads, err := parseThreads(*thrFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag}
+	mo := bench.MSFOptions{Width: *msfDim, Height: *msfDim, Threads: threads, Seed: *seedFlag}
+
+	type experiment struct {
+		name string
+		run  func() (*bench.Figure, error)
+	}
+	experiments := []experiment{
+		{"counter", func() (*bench.Figure, error) { return bench.CounterFigure(o) }},
+		{"dcas", func() (*bench.Figure, error) { return bench.DCASFigure(o) }},
+		{"fig1a", func() (*bench.Figure, error) { return bench.Fig1a(o) }},
+		{"fig1b", func() (*bench.Figure, error) { return bench.Fig1b(o) }},
+		{"fig1ro", func() (*bench.Figure, error) { return bench.Fig1ReadOnly(o) }},
+		{"fig2a", func() (*bench.Figure, error) { return bench.Fig2a(o) }},
+		{"fig2b", func() (*bench.Figure, error) { return bench.Fig2b(o) }},
+		{"fig3a", func() (*bench.Figure, error) { return bench.Fig3a(o) }},
+		{"fig3b", func() (*bench.Figure, error) { return bench.Fig3b(o) }},
+		{"divide", func() (*bench.Figure, error) { return bench.DivideHashDemo(o) }},
+		{"inline", func() (*bench.Figure, error) { return bench.InlineDemo(o) }},
+		{"treemap", func() (*bench.Figure, error) { return bench.TreeMapDemo(o) }},
+		{"volano", func() (*bench.Figure, error) { return bench.VolanoFigure(o) }},
+		{"fig4", func() (*bench.Figure, error) { return bench.Fig4(mo) }},
+		{"msfse", func() (*bench.Figure, error) { return bench.SEModeMSF(mo) }},
+		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},
+		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
+		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
+	}
+
+	selected := map[string]bool{}
+	all := *expFlag == "all"
+	for _, name := range strings.Split(*expFlag, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !all && !selected[e.name] {
+			continue
+		}
+		ran++
+		fig, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fig.Render(os.Stdout)
+		if *csvFlag {
+			fig.CSV(os.Stdout)
+		}
+	}
+	if all || selected["profile"] {
+		ran++
+		fmt.Println("== Section 6.1 transaction-failure analysis (single-thread PhTM vs STM replay) ==")
+		for _, line := range bench.ProfileReport(*profOps, nil) {
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+// Command msf runs the Minimum Spanning Forest benchmark (Section 8) on a
+// synthetic road network or a DIMACS .gr file, with any of the paper's
+// seven variants, validating the result against sequential Kruskal.
+//
+//	msf -variant opt-le -threads 8 -dim 128
+//	msf -variant orig-sky -threads 4 -dimacs east-usa.gr
+//	msf -variant opt-le -threads 8 -mode se
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocktm/internal/core"
+	"rocktm/internal/graphgen"
+	"rocktm/internal/locktm"
+	"rocktm/internal/msf"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+	"rocktm/internal/tle"
+)
+
+func main() {
+	var (
+		variant = flag.String("variant", "opt-le", "seq | {orig,opt}-{sky,lock,le}")
+		threads = flag.Int("threads", 4, "worker threads")
+		dim     = flag.Int("dim", 64, "synthetic grid dimension")
+		extra   = flag.Float64("extra", 0.05, "extra shortcut-edge fraction")
+		seed    = flag.Uint64("seed", 1, "graph and run seed")
+		dimacs  = flag.String("dimacs", "", "DIMACS .gr file instead of a synthetic graph")
+		modeStr = flag.String("mode", "sse", "chip mode: sse | se")
+	)
+	flag.Parse()
+
+	var n int
+	var edges []graphgen.Edge
+	if *dimacs != "" {
+		f, err := os.Open(*dimacs)
+		if err != nil {
+			fatal(err)
+		}
+		n, edges, err = graphgen.ReadDIMACS(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		n, edges = graphgen.RoadmapEdges(*dim, *dim, *extra, 1<<20, *seed)
+	}
+	fmt.Printf("graph: %d vertices, %d undirected edges\n", n, len(edges))
+
+	cfg := sim.DefaultConfig(*threads)
+	if *modeStr == "se" {
+		cfg.Mode = sim.SE
+	}
+	cfg.Seed = *seed
+	cfg.MaxCycles = 1 << 48
+	need := 8*(2*len(edges)+2*n) + 16*n + 1<<21
+	cfg.MemWords = 1 << 22
+	for cfg.MemWords < need {
+		cfg.MemWords <<= 1
+	}
+	m := sim.New(cfg)
+	g := graphgen.Build(m, n, edges)
+
+	var v msf.Variant
+	var sys core.System
+	switch *variant {
+	case "seq":
+		v, sys = msf.Orig, locktm.NewSeq()
+		if *threads != 1 {
+			fatal(fmt.Errorf("seq requires -threads 1"))
+		}
+	case "orig-sky":
+		v, sys = msf.Orig, sky.New(m)
+	case "opt-sky":
+		v, sys = msf.Opt, sky.New(m)
+	case "orig-lock":
+		v, sys = msf.Orig, locktm.NewOneLock(m)
+	case "opt-lock":
+		v, sys = msf.Opt, locktm.NewOneLock(m)
+	case "orig-le":
+		v, sys = msf.Orig, tle.New("le", tle.SpinAdapter{L: locktm.NewSpinLock(m.Mem())}, tle.DefaultPolicy())
+	case "opt-le":
+		v, sys = msf.Opt, tle.New("le", tle.SpinAdapter{L: locktm.NewSpinLock(m.Mem())}, tle.DefaultPolicy())
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	r := msf.NewRunner(m, g, sys, v)
+	res := r.Run(m)
+	if err := r.Validate(res); err != nil {
+		fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("msf-%s x%d: weight=%d edges=%d trees=%d\n", *variant, *threads,
+		res.TotalWeight, res.Edges, res.Trees)
+	fmt.Printf("running time: %.6f simulated seconds (%.0f cycles)\n",
+		m.ElapsedSeconds(), float64(m.MaxClock()))
+	if st.HWAttempts > 0 {
+		fmt.Printf("hardware: %d attempts, %d commits, retry fraction %.2f%%\n",
+			st.HWAttempts, st.HWCommits, 100*st.RetryFraction())
+	}
+	if st.Ops > 0 {
+		fmt.Printf("atomic blocks: %d (lock fallbacks: %d = %.3f%%)\n",
+			st.Ops, st.LockAcquires, 100*float64(st.LockAcquires)/float64(st.Ops))
+	}
+	if st.CPSHist != nil && st.CPSHist.Total() > 0 {
+		fmt.Printf("failure CPS: %s\n", st.CPSHist)
+	}
+	fmt.Println("validated against sequential Kruskal: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module rocktm
+
+go 1.22

@@ -1,0 +1,122 @@
+package alloc
+
+import (
+	"testing"
+
+	"rocktm/internal/sim"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 18
+	cfg.MaxCycles = 1 << 40
+	return sim.New(cfg)
+}
+
+func TestGetPutReuse(t *testing.T) {
+	m := newMachine(1)
+	p := NewPool(m, 8, 16)
+	m.Run(func(s *sim.Strand) {
+		a := p.Get(s)
+		b := p.Get(s)
+		if a == b || a == 0 || b == 0 {
+			t.Fatalf("bad blocks: %d %d", a, b)
+		}
+		if a%8 != 0 {
+			t.Errorf("block %d not aligned to node size", a)
+		}
+		p.Put(s, a)
+		if c := p.Get(s); c != a {
+			t.Errorf("local free list not LIFO-reused: got %d want %d", c, a)
+		}
+	})
+}
+
+func TestDistinctBlocksUnderConcurrency(t *testing.T) {
+	const threads, per = 4, 32
+	m := newMachine(threads)
+	p := NewPool(m, 8, threads*per)
+	got := make([][]sim.Addr, threads)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < per; i++ {
+			got[s.ID()] = append(got[s.ID()], p.Get(s))
+		}
+	})
+	seen := map[sim.Addr]bool{}
+	for _, list := range got {
+		for _, a := range list {
+			if seen[a] {
+				t.Fatalf("block %d handed out twice", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+// TestStealsFromSiblingFreeLists: when the arena is exhausted, Get must
+// rebalance from another strand's free list instead of panicking.
+func TestStealsFromSiblingFreeLists(t *testing.T) {
+	const cap = 8
+	m := newMachine(2)
+	p := NewPool(m, 8, cap)
+	m.Run(func(s *sim.Strand) {
+		if s.ID() == 0 {
+			// Drain the whole arena, then free everything to MY list.
+			var blocks []sim.Addr
+			for i := 0; i < cap; i++ {
+				blocks = append(blocks, p.Get(s))
+			}
+			for _, b := range blocks {
+				p.Put(s, b)
+			}
+			s.Advance(100000) // let strand 1 run
+		} else {
+			s.Advance(50000) // start after strand 0 drained the arena
+			if a := p.Get(s); a == 0 {
+				t.Error("steal path returned null block")
+			}
+		}
+	})
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	m := newMachine(1)
+	p := NewPool(m, 8, 2)
+	m.Run(func(s *sim.Strand) {
+		p.Get(s)
+		p.Get(s)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on a truly exhausted pool")
+			}
+		}()
+		p.Get(s)
+	})
+}
+
+func TestPreallocSharesArena(t *testing.T) {
+	m := newMachine(1)
+	p := NewPool(m, 8, 4)
+	a := p.Prealloc(m.Mem())
+	b := p.Prealloc(m.Mem())
+	if a == b {
+		t.Fatal("Prealloc returned the same block twice")
+	}
+	m.Run(func(s *sim.Strand) {
+		c := p.Get(s)
+		if c == a || c == b {
+			t.Error("Get returned a preallocated block")
+		}
+	})
+}
+
+func TestPutNullIsNoop(t *testing.T) {
+	m := newMachine(1)
+	p := NewPool(m, 8, 2)
+	m.Run(func(s *sim.Strand) {
+		p.Put(s, 0)
+		if got := p.Get(s); got == 0 {
+			t.Error("Get returned null after Put(0)")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocktm/internal/core"
+	"rocktm/internal/jcl"
+	"rocktm/internal/jvm"
+	"rocktm/internal/phtm"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+	"rocktm/internal/tle"
+)
+
+// AblationRetryBudget is the Section 6 knob study: how the PhTM
+// hardware-retry budget changes red-black-tree behaviour. The paper found
+// that raising the budget lets retries warm the cache and commit
+// transactions that a small budget sends to software — but that those
+// extra retries also eat the latency advantage.
+func AblationRetryBudget(o Options) (*Figure, error) {
+	o = o.Defaults()
+	budgets := []float64{1, 2, 4, 8, 16}
+	fig := &Figure{
+		Title:  "Ablation: PhTM hardware-retry budget on Red-Black Tree 2048 keys, 96/2/2",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, budget := range budgets {
+		budget := budget
+		curve := Curve{Name: fmt.Sprintf("budget=%g", budget)}
+		for _, th := range o.Threads {
+			sb := SysBuilder{
+				Name: curve.Name,
+				Build: func(m *sim.Machine) core.System {
+					cfg := phtm.DefaultConfig()
+					cfg.MaxFailures = budget
+					return phtm.New(m, sky.New(m), cfg)
+				},
+			}
+			p, err := runKV(o, kvConfig{
+				keyRange:  2048,
+				pctLookup: 96,
+				memWords:  1 << 22,
+				build:     rbtreeKV,
+			}, sb, th)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, p)
+		}
+		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", curve.Name, last.Threads, last.Extra))
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationUCTIWeight studies the Section 8.1 policy choice of counting a
+// UCTI-flagged failure as only *half* a failure on the MSF benchmark's
+// synchronization profile (here: the Java Hashtable under TLE, where UCTI
+// is the dominant failure at high thread counts).
+func AblationUCTIWeight(o Options) (*Figure, error) {
+	o = o.Defaults()
+	weights := []float64{0.5, 1.0, 2.0}
+	const keyRange = 4096
+	fig := &Figure{
+		Title:  "Ablation: UCTI failure weight in the TLE policy (Java Hashtable, mix 2:6:2)",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, w := range weights {
+		curve := Curve{Name: fmt.Sprintf("ucti=%g", w)}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<22, o.Seed)
+			pol := tle.DefaultPolicy()
+			pol.UCTIWeight = w
+			vm := jvm.New(m, pol)
+			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
+			var keys []uint64
+			for k := 0; k < keyRange; k += 2 {
+				keys = append(keys, uint64(k))
+			}
+			ht.Prepopulate(m.Mem(), keys, 1)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					key := uint64(s.RandIntn(keyRange))
+					switch r := s.RandIntn(10); {
+					case r < 2:
+						ht.Put(s, key, 1)
+					case r < 8:
+						ht.Get(s, key)
+					default:
+						ht.Remove(s, key)
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationThrottle evaluates the Section 7.2 future-work idea implemented
+// in tle.Throttle: adaptive concurrency throttling under a write-heavy
+// mix, against plain TLE and plain locking.
+func AblationThrottle(o Options) (*Figure, error) {
+	o = o.Defaults()
+	const keyRange = 8 // a handful of hot keys: elision-hostile
+	mix := javaMix{5, 0, 5}
+	fig := &Figure{
+		Title:  "Extension: adaptive concurrency throttling (TLE, Hashtable 5:0:5, keyrange 8)",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, throttled := range []bool{false, true} {
+		name := "tle"
+		if throttled {
+			name = "tle+throttle"
+		}
+		curve := Curve{Name: name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<22, o.Seed)
+			vm := jvm.New(m, tle.DefaultPolicy())
+			if throttled {
+				vm.SetThrottle(tle.NewThrottle(m))
+			}
+			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
+			var keys []uint64
+			for k := 0; k < keyRange; k += 2 {
+				keys = append(keys, uint64(k))
+			}
+			ht.Prepopulate(m.Mem(), keys, 1)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					key := uint64(s.RandIntn(keyRange))
+					switch r := s.RandIntn(10); {
+					case r < mix.put:
+						ht.Put(s, key, 1)
+					case r < mix.put+mix.get:
+						ht.Get(s, key)
+					default:
+						ht.Remove(s, key)
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}

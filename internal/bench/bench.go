@@ -1,0 +1,202 @@
+// Package bench is the experiment harness: it reconstructs every figure
+// and table of the paper's evaluation sections on the simulated machine and
+// renders them as aligned text tables (one column per curve, one row per
+// thread count, throughput in operations per microsecond of simulated
+// time, exactly the units the paper plots).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/sim"
+)
+
+// DefaultThreads is the paper's x-axis: 1–16 threads.
+var DefaultThreads = []int{1, 2, 3, 4, 6, 8, 12, 16}
+
+// Options scales experiments; the defaults run every figure in a few
+// minutes on a laptop. The paper's full parameters (1,000,000 operations
+// per thread, 3.6M-node roadmap) are reachable with -full.
+type Options struct {
+	Threads      []int
+	OpsPerThread int
+	Seed         uint64
+	Out          io.Writer
+}
+
+// Defaults fills unset fields.
+func (o Options) Defaults() Options {
+	if len(o.Threads) == 0 {
+		o.Threads = DefaultThreads
+	}
+	if o.OpsPerThread == 0 {
+		o.OpsPerThread = 4000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one measurement.
+type Point struct {
+	Threads    int
+	OpsPerUsec float64
+	// Extra carries per-point annotations (retry fraction, lock fraction,
+	// dominant CPS value) surfaced in the notes.
+	Extra string
+}
+
+// Curve is one line of a figure.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reconstructed figure or table.
+type Figure struct {
+	Title  string
+	YLabel string
+	Curves []Curve
+	Notes  []string
+}
+
+// Render writes the figure as an aligned table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(w, "   (%s)\n", f.YLabel)
+	}
+	// Collect the x axis.
+	xs := []int{}
+	seen := map[int]bool{}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			if !seen[p.Threads] {
+				seen[p.Threads] = true
+				xs = append(xs, p.Threads)
+			}
+		}
+	}
+	header := []string{"threads"}
+	for _, c := range f.Curves {
+		header = append(header, c.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, c := range f.Curves {
+			cell := "-"
+			for _, p := range c.Points {
+				if p.Threads == x {
+					cell = fmt.Sprintf("%.3f", p.OpsPerUsec)
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			sb.WriteString(cell)
+		}
+		fmt.Fprintln(w, sb.String())
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(sb.String())))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the figure in machine-readable form.
+func (f *Figure) CSV(w io.Writer) {
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%s,%s,%d,%.4f,%s\n", f.Title, c.Name, p.Threads, p.OpsPerUsec, p.Extra)
+		}
+	}
+}
+
+// ValueAt returns curve name's throughput at the given thread count.
+func (f *Figure) ValueAt(name string, threads int) (float64, bool) {
+	for _, c := range f.Curves {
+		if c.Name != name {
+			continue
+		}
+		for _, p := range c.Points {
+			if p.Threads == threads {
+				return p.OpsPerUsec, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// runResult is what one timed run reports.
+type runResult struct {
+	ops     uint64
+	seconds float64
+	stats   *core.Stats
+}
+
+func (r runResult) throughput() float64 {
+	if r.seconds <= 0 {
+		return 0
+	}
+	return float64(r.ops) / (r.seconds * 1e6)
+}
+
+// summarizeStats renders the annotations the paper quotes alongside its
+// graphs: the hardware-retry fraction, the lock/STM fallback fraction, and
+// the dominant CPS failure value.
+func summarizeStats(st *core.Stats) string {
+	if st == nil {
+		return ""
+	}
+	parts := []string{}
+	if st.HWAttempts > 0 {
+		parts = append(parts, fmt.Sprintf("retry=%.1f%%", 100*st.RetryFraction()))
+	}
+	if st.Ops > 0 && st.LockAcquires > 0 {
+		parts = append(parts, fmt.Sprintf("lock=%.2f%%", 100*float64(st.LockAcquires)/float64(st.Ops)))
+	}
+	if st.Ops > 0 && st.SWCommits > 0 {
+		parts = append(parts, fmt.Sprintf("sw=%.2f%%", 100*float64(st.SWCommits)/float64(st.Ops)))
+	}
+	if st.CPSHist != nil && st.CPSHist.Total() > 0 {
+		dom, frac := st.CPSHist.Dominant()
+		parts = append(parts, fmt.Sprintf("cps[%s]=%.0f%%", dom, 100*frac))
+	}
+	return strings.Join(parts, " ")
+}
+
+var _ = cps.COH // keep the import for documentation references
+
+// machineFor builds the standard experiment machine.
+func machineFor(threads int, memWords int, seed uint64) *sim.Machine {
+	cfg := sim.DefaultConfig(threads)
+	cfg.MemWords = memWords
+	cfg.Seed = seed
+	cfg.MaxCycles = 1 << 46
+	return sim.New(cfg)
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyOptions() Options {
+	return Options{Threads: []int{1, 2}, OpsPerThread: 120, Seed: 1}
+}
+
+// TestFiguresRenderAndCarryData smoke-tests each experiment driver at tiny
+// scale: it must produce the expected curves with nonzero throughput and
+// render without panicking.
+func TestFiguresRenderAndCarryData(t *testing.T) {
+	o := tinyOptions()
+	cases := []struct {
+		name   string
+		run    func(Options) (*Figure, error)
+		curves int
+	}{
+		{"counter", CounterFigure, 4},
+		{"dcas", DCASFigure, 4},
+		{"fig1a", Fig1a, 6},
+		{"fig2a", Fig2a, 6},
+		{"fig3a", Fig3a, 4},
+		{"divide", DivideHashDemo, 2},
+		{"volano", VolanoFigure, 3},
+		{"ablate-throttle", AblationThrottle, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fig, err := tc.run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fig.Curves) != tc.curves {
+				t.Fatalf("%d curves, want %d", len(fig.Curves), tc.curves)
+			}
+			for _, c := range fig.Curves {
+				if len(c.Points) != len(o.Threads) {
+					t.Fatalf("curve %s has %d points", c.Name, len(c.Points))
+				}
+				for _, p := range c.Points {
+					if p.OpsPerUsec <= 0 {
+						t.Fatalf("curve %s: nonpositive throughput at %d threads", c.Name, p.Threads)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			fig.Render(&buf)
+			out := buf.String()
+			if !strings.Contains(out, fig.Title) || !strings.Contains(out, "threads") {
+				t.Fatalf("render missing header:\n%s", out)
+			}
+			buf.Reset()
+			fig.CSV(&buf)
+			if lines := strings.Count(buf.String(), "\n"); lines != tc.curves*len(o.Threads) {
+				t.Fatalf("CSV rows = %d, want %d", lines, tc.curves*len(o.Threads))
+			}
+		})
+	}
+}
+
+// TestFigureValueAt exercises the lookup helper used by assertions.
+func TestFigureValueAt(t *testing.T) {
+	fig := &Figure{Curves: []Curve{{Name: "x", Points: []Point{{Threads: 4, OpsPerUsec: 1.5}}}}}
+	if v, ok := fig.ValueAt("x", 4); !ok || v != 1.5 {
+		t.Fatalf("ValueAt = (%v,%v)", v, ok)
+	}
+	if _, ok := fig.ValueAt("x", 8); ok {
+		t.Fatal("found missing thread count")
+	}
+	if _, ok := fig.ValueAt("y", 4); ok {
+		t.Fatal("found missing curve")
+	}
+}
+
+// TestQualitativeClaims asserts the headline shape results at small scale:
+// PhTM beats the single lock at 8 threads on the hash table, and TLE beats
+// plain monitors on the Java Hashtable.
+func TestQualitativeClaims(t *testing.T) {
+	o := Options{Threads: []int{8}, OpsPerThread: 600, Seed: 1}
+	fig, err := Fig1a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phtm, _ := fig.ValueAt("phtm", 8)
+	lock, _ := fig.ValueAt("one-lock", 8)
+	if phtm < 2*lock {
+		t.Errorf("fig1a @8 threads: phtm %.1f not ≫ one-lock %.1f", phtm, lock)
+	}
+	fig3b, err := Fig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tleV, _ := fig3b.ValueAt("2:6:2-TLE", 8)
+	lockV, _ := fig3b.ValueAt("2:6:2-locks", 8)
+	if tleV < 1.5*lockV {
+		t.Errorf("fig3b @8 threads: TLE %.1f not ≫ locks %.1f", tleV, lockV)
+	}
+}
+
+// TestMSFVariantRunsAndValidates runs one tiny MSF cell end to end (the
+// runner validates against Kruskal internally).
+func TestMSFVariantRunsAndValidates(t *testing.T) {
+	o := MSFOptions{Width: 16, Height: 16, Threads: []int{2}, Seed: 3}
+	secs, err := RunMSFVariant(o, "msf-opt-le", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatal("nonpositive running time")
+	}
+	if _, err := RunMSFVariant(o, "nope", 2); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+// TestProfileReportLines sanity-checks the Section 6.1 report text.
+func TestProfileReportLines(t *testing.T) {
+	lines := ProfileReport(150, []int{256})
+	if len(lines) < 5 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"failed to software", "read-set lines", "stack writes: 0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

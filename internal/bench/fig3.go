@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocktm/internal/core"
+	"rocktm/internal/jcl"
+	"rocktm/internal/jvm"
+	"rocktm/internal/locktm"
+	"rocktm/internal/sim"
+	"rocktm/internal/tle"
+	"rocktm/internal/vector"
+)
+
+// Fig3a reconstructs Figure 3(a): TLE in C++ with an STL vector,
+// initsize=100, ctr-range=40, increment:decrement:read = 20:20:60, using
+// the deliberately simplistic fixed-count retry policy (20 tries, no CPS)
+// against one-lock and reader-writer-lock baselines.
+func Fig3a(o Options) (*Figure, error) {
+	o = o.Defaults()
+	const (
+		initSize = 100
+		ctrRange = 40
+		retries  = 20
+	)
+	systems := []SysBuilder{
+		{"htm.oneLock", func(m *sim.Machine) core.System { return tleOverSpin(m, retries) }},
+		{"noTM.oneLock", func(m *sim.Machine) core.System { return locktm.NewOneLock(m) }},
+		{"htm.rwLock", func(m *sim.Machine) core.System { return tleOverRW(m, retries) }},
+		{"noTM.rwLock", func(m *sim.Machine) core.System { return locktm.NewRW(m) }},
+	}
+	fig := &Figure{
+		Title:  "Figure 3(a) STLVector initsize=100 ctr-range=40 inc:dec:read=20:20:60",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, sb := range systems {
+		curve := Curve{Name: sb.Name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<20, o.Seed)
+			v := vector.New(m, initSize+ctrRange+64, initSize)
+			sys := sb.Build(m)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					r := s.RandIntn(100)
+					idx := s.RandIntn(initSize - ctrRange) // always within the populated prefix
+					switch {
+					case r < 20:
+						sys.Atomic(s, func(c core.Ctx) { v.PushBack(c, sim.Word(i)) })
+					case r < 40:
+						sys.Atomic(s, func(c core.Ctx) { v.PopBack(c) })
+					default:
+						sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, idx) })
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: sys.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// javaMix is a put:get:remove ratio in tenths, e.g. 2-6-2.
+type javaMix struct {
+	put, get, remove int
+}
+
+func (x javaMix) String() string { return fmt.Sprintf("%d:%d:%d", x.put, x.get, x.remove) }
+
+// Fig3b reconstructs Figure 3(b): TLE in Java with java.util.Hashtable
+// (divide factored out of the hash), across operation mixes, TLE vs plain
+// monitors.
+func Fig3b(o Options) (*Figure, error) {
+	o = o.Defaults()
+	mixes := []javaMix{{0, 10, 0}, {1, 8, 1}, {2, 6, 2}, {4, 2, 4}}
+	const keyRange = 4096
+	fig := &Figure{
+		Title:  "Figure 3(b) TLE with Hashtable in Java (put:get:remove mixes)",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, mix := range mixes {
+		for _, elide := range []bool{false, true} {
+			label := mix.String() + "-locks"
+			if elide {
+				label = mix.String() + "-TLE"
+			}
+			curve := Curve{Name: label}
+			for _, th := range o.Threads {
+				p, _ := runJavaTable(o, th, mix, elide, keyRange)
+				curve.Points = append(curve.Points, p)
+			}
+			fig.Curves = append(fig.Curves, curve)
+		}
+	}
+	return fig, nil
+}
+
+func runJavaTable(o Options, threads int, mix javaMix, elide bool, keyRange int) (Point, *core.Stats) {
+	m := machineFor(threads, 1<<22, o.Seed)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	vm.Elide = elide
+	ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*threads+64)
+	var keys []uint64
+	for k := 0; k < keyRange; k += 2 {
+		keys = append(keys, uint64(k))
+	}
+	ht.Prepopulate(m.Mem(), keys, 1)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < o.OpsPerThread; i++ {
+			key := uint64(s.RandIntn(keyRange))
+			r := s.RandIntn(10)
+			switch {
+			case r < mix.put:
+				ht.Put(s, key, 1)
+			case r < mix.put+mix.get:
+				ht.Get(s, key)
+			default:
+				ht.Remove(s, key)
+			}
+		}
+	})
+	res := runResult{ops: uint64(threads * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, vm.Stats()
+}
+
+// DivideHashDemo shows why the benchmark Hashtable factored the divide out
+// of its hash function: with the divide left in, every elided transaction
+// aborts with CPS=FP and TLE degenerates to locking.
+func DivideHashDemo(o Options) (*Figure, error) {
+	o = o.Defaults()
+	fig := &Figure{
+		Title:  "Section 7.2 (text): Hashtable divide instruction vs factored-out hash, TLE, 100% gets",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	const keyRange = 4096
+	for _, divide := range []bool{false, true} {
+		name := "hash-no-divide"
+		if divide {
+			name = "hash-with-divide"
+		}
+		curve := Curve{Name: name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<22, o.Seed)
+			vm := jvm.New(m, tle.DefaultPolicy())
+			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+64)
+			ht.DivideHash = divide
+			var keys []uint64
+			for k := 0; k < keyRange; k += 2 {
+				keys = append(keys, uint64(k))
+			}
+			ht.Prepopulate(m.Mem(), keys, 1)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					ht.Get(s, uint64(s.RandIntn(keyRange)))
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// InlineDemo reconstructs the Section 7.2 HashMap anecdote: the run starts
+// with the synchronized wrapper and HashMap.put inlined together; mid-run
+// the JIT outlines put, the function call's save/restore aborts every
+// elided transaction (CPS=INST), and throughput collapses toward the lock.
+func InlineDemo(o Options) (*Figure, error) {
+	o = o.Defaults()
+	const keyRange = 4096
+	mix := javaMix{2, 6, 2}
+	fig := &Figure{
+		Title:  "Section 7.2 (text): HashMap JIT inlining vs outlined put, TLE, mix 2:6:2",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, outline := range []bool{false, true} {
+		name := "put-inlined"
+		if outline {
+			name = "put-outlined-midrun"
+		}
+		curve := Curve{Name: name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<22, o.Seed)
+			vm := jvm.New(m, tle.DefaultPolicy())
+			hm := jcl.NewHashMap(m, vm, 1<<13, keyRange+2*th+64)
+			if outline {
+				hm.PutSite.OutlineAfter = o.OpsPerThread * th / 4
+			}
+			var keys []uint64
+			for k := 0; k < keyRange; k += 2 {
+				keys = append(keys, uint64(k))
+			}
+			hm.Prepopulate(m.Mem(), keys, 1)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					key := uint64(s.RandIntn(keyRange))
+					r := s.RandIntn(10)
+					switch {
+					case r < mix.put:
+						hm.Put(s, key, 1)
+					case r < mix.put+mix.get:
+						hm.Get(s, key)
+					default:
+						hm.Remove(s, key)
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// TreeMapDemo reconstructs the Section 7.2 TreeMap observation: good TLE
+// results for small, read-only trees; degradation with size and mutation.
+func TreeMapDemo(o Options) (*Figure, error) {
+	o = o.Defaults()
+	type scenario struct {
+		name     string
+		keys     int
+		pctWrite int
+	}
+	scenarios := []scenario{
+		{"small-readonly", 128, 0},
+		{"large-mutating", 4096, 20},
+	}
+	fig := &Figure{
+		Title:  "Section 7.2 (text): TreeMap under TLE vs locks",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, sc := range scenarios {
+		for _, elide := range []bool{true, false} {
+			name := sc.name + "-locks"
+			if elide {
+				name = sc.name + "-TLE"
+			}
+			curve := Curve{Name: name}
+			for _, th := range o.Threads {
+				m := machineFor(th, 1<<22, o.Seed)
+				vm := jvm.New(m, tle.DefaultPolicy())
+				vm.Elide = elide
+				tm := jcl.NewTreeMap(m, vm, sc.keys+2*th+64)
+				var keys []uint64
+				for k := 0; k < sc.keys; k += 2 {
+					keys = append(keys, uint64(k))
+				}
+				tm.Prepopulate(m.Mem(), keys, 1)
+				m.Run(func(s *sim.Strand) {
+					for i := 0; i < o.OpsPerThread; i++ {
+						key := uint64(s.RandIntn(sc.keys))
+						r := s.RandIntn(100)
+						switch {
+						case r < sc.pctWrite/2:
+							tm.Put(s, key, 1)
+						case r < sc.pctWrite:
+							tm.Remove(s, key)
+						default:
+							tm.Get(s, key)
+						}
+					}
+				})
+				res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+				curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+			}
+			fig.Curves = append(fig.Curves, curve)
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocktm/internal/core"
+	"rocktm/internal/graphgen"
+	"rocktm/internal/locktm"
+	"rocktm/internal/msf"
+	"rocktm/internal/profile"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+	"rocktm/internal/tle"
+)
+
+// MSFOptions sizes the Figure 4 experiment. The paper's Eastern-USA
+// roadmap has 3,598,623 nodes; the default here is a synthetic road grid
+// that runs in minutes, and Width/Height scale it up to taste.
+type MSFOptions struct {
+	Width, Height int
+	Extra         float64
+	Seed          uint64
+	Threads       []int
+	Mode          sim.Mode
+}
+
+// Defaults fills unset fields.
+func (o MSFOptions) Defaults() MSFOptions {
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	if o.Height == 0 {
+		o.Height = 64
+	}
+	if o.Extra == 0 {
+		o.Extra = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = DefaultThreads
+	}
+	return o
+}
+
+type msfVariant struct {
+	name    string
+	variant msf.Variant
+	build   func(m *sim.Machine) core.System
+	seqOnly bool
+}
+
+func msfVariants() []msfVariant {
+	newSky := func(m *sim.Machine) core.System { return sky.New(m) }
+	newLock := func(m *sim.Machine) core.System { return locktm.NewOneLock(m) }
+	newLE := func(m *sim.Machine) core.System {
+		return tle.New("le", tle.SpinAdapter{L: locktm.NewSpinLock(m.Mem())}, tle.DefaultPolicy())
+	}
+	return []msfVariant{
+		{"msf-orig-sky", msf.Orig, newSky, false},
+		{"msf-opt-sky", msf.Opt, newSky, false},
+		{"msf-orig-lock", msf.Orig, newLock, false},
+		{"msf-opt-lock", msf.Opt, newLock, false},
+		{"msf-orig-le", msf.Orig, newLE, false},
+		{"msf-opt-le", msf.Opt, newLE, false},
+		{"msf-seq", msf.Orig, func(m *sim.Machine) core.System { return locktm.NewSeq() }, true},
+	}
+}
+
+// msfMemWords sizes simulated memory for a graph.
+func msfMemWords(n, mEdges int) int {
+	need := 4*n + 8*(2*mEdges+2*n) + 8*n + 1<<20
+	words := 1 << 22
+	for words < need {
+		words <<= 1
+	}
+	return words
+}
+
+// RunMSF measures one variant at one thread count, returning the running
+// time in simulated seconds plus fallback statistics.
+func RunMSF(o MSFOptions, v msfVariant, threads int) (float64, string, error) {
+	cfg := sim.DefaultConfig(threads)
+	n, edges := graphgen.RoadmapEdges(o.Width, o.Height, o.Extra, 1<<20, o.Seed)
+	cfg.MemWords = msfMemWords(n, len(edges))
+	cfg.Seed = o.Seed
+	cfg.Mode = o.Mode
+	cfg.MaxCycles = 1 << 48
+	m := sim.New(cfg)
+	g := graphgen.Build(m, n, edges)
+	sys := v.build(m)
+	r := msf.NewRunner(m, g, sys, v.variant)
+	res := r.Run(m)
+	if err := r.Validate(res); err != nil {
+		return 0, "", fmt.Errorf("%s/%d threads: %w", v.name, threads, err)
+	}
+	return m.ElapsedSeconds(), summarizeStats(sys.Stats()), nil
+}
+
+// Fig4 reconstructs Figure 4: MSF running time (simulated seconds — the
+// paper's y axis is also running time, log scale) for the seven variants.
+func Fig4(o MSFOptions) (*Figure, error) {
+	o = o.Defaults()
+	fig := &Figure{
+		Title: fmt.Sprintf("Figure 4 MSF, synthetic roadmap %dx%d grid (+%.0f%% shortcuts)",
+			o.Width, o.Height, o.Extra*100),
+		YLabel: "running time (simulated seconds; lower is better)",
+	}
+	for _, v := range msfVariants() {
+		curve := Curve{Name: v.name}
+		threads := o.Threads
+		if v.seqOnly {
+			threads = []int{1}
+		}
+		for _, th := range threads {
+			secs, extra, err := RunMSF(o, v, th)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: secs, Extra: extra})
+		}
+		fig.Curves = append(fig.Curves, curve)
+		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", v.name, last.Threads, last.Extra))
+		}
+	}
+	fig.Notes = append(fig.Notes, "values are RUNNING TIME in simulated seconds, not throughput")
+	return fig, nil
+}
+
+// SEModeMSF reconstructs the Section 8.1 SE-mode observation: with the
+// 16-entry store queue, msf-opt-le's transactions overflow (ST|SIZ) and
+// the lock-fallback fraction rises by orders of magnitude.
+func SEModeMSF(o MSFOptions) (*Figure, error) {
+	o = o.Defaults()
+	fig := &Figure{
+		Title:  "Section 8.1 msf-opt-le in SSE vs SE mode",
+		YLabel: "running time (simulated seconds; lower is better)",
+	}
+	var leVariant msfVariant
+	for _, v := range msfVariants() {
+		if v.name == "msf-opt-le" {
+			leVariant = v
+		}
+	}
+	for _, mode := range []sim.Mode{sim.SSE, sim.SE} {
+		name := "SSE"
+		if mode == sim.SE {
+			name = "SE"
+		}
+		curve := Curve{Name: "msf-opt-le-" + name}
+		oo := o
+		oo.Mode = mode
+		for _, th := range o.Threads {
+			secs, extra, err := RunMSF(oo, leVariant, th)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: secs, Extra: extra})
+			if th == 1 {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s single-thread: %s", curve.Name, extra))
+			}
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// ProfileReport renders the Section 6.1 failure analysis for a set of tree
+// sizes. Each size is profiled twice: with a tight hardware-retry budget
+// (2 tries) and with the default (8) — the paper's own experiment, which
+// showed that additional retries bring the needed data into the cache and
+// rescue transactions that would otherwise fail.
+func ProfileReport(ops int, sizes []int) []string {
+	if len(sizes) == 0 {
+		sizes = []int{1024, 4096, 24000}
+	}
+	var lines []string
+	for _, size := range sizes {
+		cfg := profile.Config{
+			TreeKeys:   size,
+			Ops:        ops,
+			PctGet:     70,
+			PctInsert:  15,
+			Seed:       42,
+			MaxHWTries: 2,
+		}
+		sum := profile.Summarize(profile.Run(cfg))
+		cfg8 := cfg
+		cfg8.MaxHWTries = 8
+		sum8 := profile.Summarize(profile.Run(cfg8))
+		lines = append(lines,
+			fmt.Sprintf("tree=%d ops=%d: %d/%d failed to software with a 2-try budget; %d/%d with 8 tries (retries warm the cache)",
+				size, sum.Ops, sum.Failed, sum.Ops, sum8.Failed, sum8.Ops),
+			fmt.Sprintf("  read-set lines   succeeded max=%d mean=%.1f | failed max=%d mean=%.1f",
+				sum.MaxReadLines[0], sum.MeanReadLines[0], sum.MaxReadLines[1], sum.MeanReadLines[1]),
+			fmt.Sprintf("  max lines/L1 set succeeded=%d failed=%d (set overflows: %d vs %d)",
+				sum.MaxLinesPerSet[0], sum.MaxLinesPerSet[1], sum.SetOverflows[0], sum.SetOverflows[1]),
+			fmt.Sprintf("  write words max  succeeded=%d failed=%d (bank overflows: %d vs %d)",
+				sum.MaxWriteWords[0], sum.MaxWriteWords[1], sum.BankOverflows[0], sum.BankOverflows[1]),
+			fmt.Sprintf("  failure CPS histogram: %s", sum.CPSHist),
+			"  stack writes: 0 (not modelled; documented divergence)",
+		)
+	}
+	return lines
+}
+
+// RunMSFVariant measures a single named variant at one thread count
+// (convenience for benchmarks).
+func RunMSFVariant(o MSFOptions, name string, threads int) (float64, error) {
+	o = o.Defaults()
+	for _, v := range msfVariants() {
+		if v.name == name {
+			secs, _, err := RunMSF(o, v, threads)
+			return secs, err
+		}
+	}
+	return 0, fmt.Errorf("unknown MSF variant %q", name)
+}

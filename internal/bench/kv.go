@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocktm/internal/core"
+	"rocktm/internal/hashtable"
+	"rocktm/internal/rbtree"
+	"rocktm/internal/sim"
+)
+
+// kvStructure is the surface the hash-table and red-black-tree experiments
+// share: complete operations under a synchronization system.
+type kvStructure interface {
+	InsertOp(sys core.System, s *sim.Strand, key uint64, val sim.Word) bool
+	DeleteOp(sys core.System, s *sim.Strand, key uint64) bool
+	LookupOp(sys core.System, s *sim.Strand, key uint64) (sim.Word, bool)
+}
+
+// kvConfig describes one key-value experiment cell.
+type kvConfig struct {
+	keyRange  int
+	pctLookup int // percentage of lookups; the rest split 50/50 insert/delete
+	memWords  int
+	build     func(m *sim.Machine, keyRange int) kvStructure
+	validate  func(st kvStructure, mem *sim.Memory) error
+}
+
+// runKV measures one (system, threads) cell: prepopulate with half the key
+// range, then run opsPerThread random operations per thread.
+func runKV(o Options, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
+	m := machineFor(threads, cfg.memWords, o.Seed)
+	st := cfg.build(m, cfg.keyRange)
+	sys := sb.Build(m)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < o.OpsPerThread; i++ {
+			key := uint64(s.RandIntn(cfg.keyRange))
+			r := s.RandIntn(100)
+			switch {
+			case r < cfg.pctLookup:
+				st.LookupOp(sys, s, key)
+			case r < cfg.pctLookup+(100-cfg.pctLookup)/2:
+				st.InsertOp(sys, s, key, 1)
+			default:
+				st.DeleteOp(sys, s, key)
+			}
+		}
+	})
+	if cfg.validate != nil {
+		if err := cfg.validate(st, m.Mem()); err != nil {
+			return Point{}, fmt.Errorf("%s/%d threads: %w", sb.Name, threads, err)
+		}
+	}
+	res := runResult{
+		ops:     uint64(threads * o.OpsPerThread),
+		seconds: m.ElapsedSeconds(),
+		stats:   sys.Stats(),
+	}
+	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+}
+
+// kvFigure sweeps all systems across the thread axis.
+func kvFigure(o Options, title string, cfg kvConfig) (*Figure, error) {
+	fig := &Figure{Title: title, YLabel: "throughput (ops/usec), simulated"}
+	for _, sb := range tmSystems() {
+		curve := Curve{Name: sb.Name}
+		for _, th := range o.Threads {
+			p, err := runKV(o, cfg, sb, th)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, p)
+		}
+		fig.Curves = append(fig.Curves, curve)
+		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", sb.Name, last.Threads, last.Extra))
+		}
+	}
+	return fig, nil
+}
+
+func hashtableKV(buckets int) func(m *sim.Machine, keyRange int) kvStructure {
+	return func(m *sim.Machine, keyRange int) kvStructure {
+		t := hashtable.New(m, buckets, keyRange+2*m.Config().Strands+64)
+		var keys []uint64
+		for k := 0; k < keyRange; k += 2 {
+			keys = append(keys, uint64(k))
+		}
+		t.Prepopulate(m.Mem(), keys, 1)
+		return t
+	}
+}
+
+func rbtreeKV(m *sim.Machine, keyRange int) kvStructure {
+	t := rbtree.New(m, keyRange+2*m.Config().Strands+64)
+	t.Prepopulate(m.Mem(), shuffledEvenKeys(keyRange, 7), 1)
+	return t
+}
+
+// shuffledEvenKeys returns every second key in [0, keyRange) in a
+// deterministic shuffled order. Prepopulating a red-black tree in
+// ascending order is pathological in a way the paper's random workloads
+// are not: with sequential node allocation the tree's upper spine lands on
+// node indices 2^k-1, aliasing the whole hot path into one L1 set.
+func shuffledEvenKeys(keyRange int, seed uint64) []uint64 {
+	keys := make([]uint64, 0, keyRange/2)
+	for k := 0; k < keyRange; k += 2 {
+		keys = append(keys, uint64(k))
+	}
+	state := seed
+	for i := len(keys) - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+// Fig1a reconstructs Figure 1(a): hash table, 2^17 buckets, 50% inserts /
+// 50% deletes, key range 256.
+func Fig1a(o Options) (*Figure, error) {
+	o = o.Defaults()
+	return kvFigure(o, "Figure 1(a) HashTable keyrange=256, 0% lookups", kvConfig{
+		keyRange:  256,
+		pctLookup: 0,
+		memWords:  1 << 23,
+		build:     hashtableKV(1 << 17),
+	})
+}
+
+// Fig1b reconstructs Figure 1(b): key range 128,000 — the active part of
+// the table no longer fits in the L1, leveling the playing field.
+func Fig1b(o Options) (*Figure, error) {
+	o = o.Defaults()
+	return kvFigure(o, "Figure 1(b) HashTable keyrange=128000, 0% lookups", kvConfig{
+		keyRange:  128000,
+		pctLookup: 0,
+		memWords:  1 << 24,
+		build:     hashtableKV(1 << 17),
+	})
+}
+
+// Fig1ReadOnly reconstructs the 100%-lookup observation quoted in Section
+// 5's text (data not shown in the paper's graphs).
+func Fig1ReadOnly(o Options) (*Figure, error) {
+	o = o.Defaults()
+	return kvFigure(o, "Section 5 (text) HashTable keyrange=256, 100% lookups", kvConfig{
+		keyRange:  256,
+		pctLookup: 100,
+		memWords:  1 << 23,
+		build:     hashtableKV(1 << 17),
+	})
+}
+
+// Fig2a reconstructs Figure 2(a): red-black tree, 128 keys, 100% reads.
+func Fig2a(o Options) (*Figure, error) {
+	o = o.Defaults()
+	return kvFigure(o, "Figure 2(a) Red-Black Tree 128 keys, 100% reads", kvConfig{
+		keyRange:  128,
+		pctLookup: 100,
+		memWords:  1 << 22,
+		build:     rbtreeKV,
+	})
+}
+
+// Fig2b reconstructs Figure 2(b): 2048 keys, 96% reads / 2% inserts / 2%
+// deletes — the case where PhTM can fall behind a good STM.
+func Fig2b(o Options) (*Figure, error) {
+	o = o.Defaults()
+	return kvFigure(o, "Figure 2(b) Red-Black Tree 2048 keys, 96% reads 2% ins 2% del", kvConfig{
+		keyRange:  2048,
+		pctLookup: 96,
+		memWords:  1 << 22,
+		build:     rbtreeKV,
+	})
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocktm/internal/chat"
+	"rocktm/internal/counter"
+	"rocktm/internal/dcas"
+	"rocktm/internal/jvm"
+	"rocktm/internal/sim"
+	"rocktm/internal/tle"
+)
+
+// CounterFigure reconstructs the Section 4 counter experiment: CAS-based
+// and HTM-based increments of one shared counter, with and without
+// backoff. The HTM-without-backoff curve shows the requester-wins
+// degradation the paper describes as suggesting livelock.
+func CounterFigure(o Options) (*Figure, error) {
+	o = o.Defaults()
+	fig := &Figure{
+		Title:  "Section 4 counter: CAS vs HTM increments, with/without backoff",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	methods := []counter.Method{counter.CAS, counter.CASBackoff, counter.HTM, counter.HTMBackoff}
+	for _, method := range methods {
+		curve := Curve{Name: method.Name()}
+		for _, th := range o.Threads {
+			cfg := sim.DefaultConfig(th)
+			cfg.MemWords = 1 << 18
+			cfg.Seed = o.Seed
+			cfg.MaxCycles = 1 << 46
+			// Short transactions need fine-grained interleaving for the
+			// conflict behaviour to be visible.
+			cfg.Quantum = 8
+			m := sim.New(cfg)
+			ctr := counter.New(m)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					ctr.Inc(s, method)
+				}
+			})
+			if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
+				return nil, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
+			}
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: ctr.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// DCASFigure reconstructs the Section 4 comparison of DCAS-based
+// reimplementations against hand-crafted java.util.concurrent designs:
+// the sorted-list set pair (DCAS unlink-and-poison vs Harris–Michael
+// marked pointers) and the FIFO queue pair (DCAS link-and-swing vs the
+// Michael–Scott queue), 1/3 each insert/remove/contains for the sets and
+// 50/50 enqueue/dequeue for the queues.
+func DCASFigure(o Options) (*Figure, error) {
+	o = o.Defaults()
+	const keyRange = 256
+	fig := &Figure{
+		Title:  "Section 4 DCAS sets: DCAS list vs hand-crafted lock-free list, keyrange=256",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	type setIface interface {
+		Insert(s *sim.Strand, key uint64) bool
+		Remove(s *sim.Strand, key uint64) bool
+		Contains(s *sim.Strand, key uint64) bool
+	}
+	builders := []struct {
+		name  string
+		build func(m *sim.Machine) setIface
+	}{
+		{"dcas-list", func(m *sim.Machine) setIface {
+			return dcas.NewDCASList(m, dcas.New(m), keyRange+o.OpsPerThread*m.Config().Strands+64)
+		}},
+		{"juc-lockfree", func(m *sim.Machine) setIface {
+			return dcas.NewHMList(m, keyRange+o.OpsPerThread*m.Config().Strands+64)
+		}},
+	}
+	for _, b := range builders {
+		curve := Curve{Name: b.name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<23, o.Seed)
+			set := b.build(m)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					key := uint64(1 + s.RandIntn(keyRange))
+					switch s.RandIntn(3) {
+					case 0:
+						set.Insert(s, key)
+					case 1:
+						set.Remove(s, key)
+					default:
+						set.Contains(s, key)
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput()})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	type fifo interface {
+		Enqueue(s *sim.Strand, val sim.Word)
+		Dequeue(s *sim.Strand) (sim.Word, bool)
+	}
+	qbuilders := []struct {
+		name  string
+		build func(m *sim.Machine) fifo
+	}{
+		{"dcas-queue", func(m *sim.Machine) fifo {
+			return dcas.NewDCASQueue(m, dcas.New(m), o.OpsPerThread*m.Config().Strands+64)
+		}},
+		{"juc-msqueue", func(m *sim.Machine) fifo {
+			return dcas.NewMSQueue(m, o.OpsPerThread*m.Config().Strands+64)
+		}},
+	}
+	for _, b := range qbuilders {
+		curve := Curve{Name: b.name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<23, o.Seed)
+			q := b.build(m)
+			m.Run(func(s *sim.Strand) {
+				for i := 0; i < o.OpsPerThread; i++ {
+					if s.RandIntn(2) == 0 {
+						q.Enqueue(s, sim.Word(i))
+					} else {
+						q.Dequeue(s)
+					}
+				}
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput()})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// VolanoFigure reconstructs the VolanoMark-style observation closing
+// Section 7.2: a chat-server workload run with plain monitors, with TLE
+// code emitted but disabled (paying the code-bloat cost), and with TLE
+// enabled.
+func VolanoFigure(o Options) (*Figure, error) {
+	o = o.Defaults()
+	const rooms = 16
+	configs := []struct {
+		name        string
+		emit, elide bool
+	}{
+		{"locks(no-TLE-code)", false, false},
+		{"TLE-emitted-disabled", true, false},
+		{"TLE-enabled", true, true},
+	}
+	fig := &Figure{
+		Title:  "Section 7.2 (text) VolanoMark-like chat workload",
+		YLabel: "throughput (ops/usec), simulated",
+	}
+	for _, cc := range configs {
+		curve := Curve{Name: cc.name}
+		for _, th := range o.Threads {
+			m := machineFor(th, 1<<21, o.Seed)
+			vm := jvm.New(m, tle.DefaultPolicy())
+			vm.EmitTLE = cc.emit
+			vm.Elide = cc.elide
+			srv := chat.NewServer(m, vm, rooms)
+			m.Run(func(s *sim.Strand) {
+				room := s.ID() % rooms
+				srv.Join(s, room)
+				for i := 0; i < o.OpsPerThread; i++ {
+					r := s.RandIntn(100)
+					switch {
+					case r < 10:
+						room = s.RandIntn(rooms)
+						srv.Join(s, room)
+					case r < 40:
+						srv.Post(s, room, sim.Word(i))
+					default:
+						srv.ReadRecent(s, room, 8)
+					}
+				}
+				srv.Leave(s, room)
+			})
+			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}

@@ -1,0 +1,71 @@
+package chat
+
+import (
+	"testing"
+
+	"rocktm/internal/jvm"
+	"rocktm/internal/sim"
+	"rocktm/internal/tle"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 20
+	cfg.MaxCycles = 1 << 44
+	return sim.New(cfg)
+}
+
+// TestMessageCountsExact posts a known number of messages per room under
+// concurrency; counts must be exact for every TLE configuration.
+func TestMessageCountsExact(t *testing.T) {
+	for _, elide := range []bool{true, false} {
+		const threads, rooms, posts = 4, 3, 200
+		m := newMachine(threads)
+		vm := jvm.New(m, tle.DefaultPolicy())
+		vm.Elide = elide
+		srv := NewServer(m, vm, rooms)
+		m.Run(func(s *sim.Strand) {
+			room := s.ID() % rooms
+			srv.Join(s, room)
+			for i := 0; i < posts; i++ {
+				srv.Post(s, i%rooms, sim.Word(i))
+				srv.ReadRecent(s, room, 4)
+			}
+			srv.Leave(s, room)
+		})
+		var total sim.Word
+		for r := 0; r < rooms; r++ {
+			total += srv.MessageCount(m.Mem(), r)
+		}
+		if total != threads*posts {
+			t.Fatalf("elide=%v: %d messages recorded, want %d", elide, total, threads*posts)
+		}
+	}
+}
+
+// TestSequenceNumbersUnique: concurrent posters to one room must receive
+// distinct sequence numbers.
+func TestSequenceNumbersUnique(t *testing.T) {
+	const threads, posts = 6, 100
+	m := newMachine(threads)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	srv := NewServer(m, vm, 1)
+	seqs := make([][]sim.Word, threads)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < posts; i++ {
+			seqs[s.ID()] = append(seqs[s.ID()], srv.Post(s, 0, 1))
+		}
+	})
+	seen := map[sim.Word]bool{}
+	for _, ss := range seqs {
+		for _, q := range ss {
+			if seen[q] {
+				t.Fatalf("duplicate sequence number %d", q)
+			}
+			seen[q] = true
+		}
+	}
+	if len(seen) != threads*posts {
+		t.Fatalf("%d unique sequence numbers, want %d", len(seen), threads*posts)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/sim"
+)
+
+func TestPCStable(t *testing.T) {
+	if PC("a.site") != PC("a.site") {
+		t.Error("PC not deterministic")
+	}
+	if PC("a.site") == PC("b.site") {
+		t.Error("PC collides on trivially different names")
+	}
+}
+
+func TestBackoffBoundedAndAdvancing(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.MemWords = 1 << 14
+	m := sim.New(cfg)
+	m.Run(func(s *sim.Strand) {
+		before := s.Clock()
+		for attempt := 0; attempt < 40; attempt++ {
+			Backoff(s, attempt)
+		}
+		delta := s.Clock() - before
+		if delta <= 0 {
+			t.Error("Backoff did not advance the clock")
+		}
+		// 40 capped backoffs must stay well under a virtual millisecond.
+		if delta > 400000 {
+			t.Errorf("Backoff too large: %d cycles for 40 rounds", delta)
+		}
+	})
+}
+
+func TestStatsMergeAndRetryFraction(t *testing.T) {
+	a := NewStats()
+	a.Ops, a.HWAttempts, a.HWCommits, a.HWBlocks = 10, 25, 10, 10
+	b := NewStats()
+	b.Ops, b.SWCommits = 5, 5
+	a.Merge(b)
+	if a.Ops != 15 || a.SWCommits != 5 {
+		t.Errorf("merge lost counts: %+v", a)
+	}
+	if got := a.RetryFraction(); got != 0.6 {
+		t.Errorf("RetryFraction = %v, want 0.6 (15 retries / 25 attempts)", got)
+	}
+}
+
+func TestSetupCtxBypassesCosts(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.MemWords = 1 << 14
+	m := sim.New(cfg)
+	a := m.Mem().AllocLines(8)
+	c := Setup{Mem: m.Mem()}
+	c.Store(a, 9)
+	if c.Load(a) != 9 {
+		t.Error("Setup store/load mismatch")
+	}
+	if m.MaxClock() != 0 {
+		t.Error("Setup ctx charged cycles")
+	}
+}
+
+func TestRawCtxQuick(t *testing.T) {
+	prop := func(vals []uint16) bool {
+		cfg := sim.DefaultConfig(1)
+		cfg.MemWords = 1 << 16
+		m := sim.New(cfg)
+		n := len(vals)
+		if n == 0 {
+			return true
+		}
+		base := m.Mem().AllocLines(n)
+		ok := true
+		m.Run(func(s *sim.Strand) {
+			c := Raw{S: s}
+			for i, v := range vals {
+				c.Store(base+sim.Addr(i), sim.Word(v))
+			}
+			for i, v := range vals {
+				if c.Load(base+sim.Addr(i)) != sim.Word(v) {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

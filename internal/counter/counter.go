@@ -1,0 +1,91 @@
+// Package counter implements the Section 4 experiment: a single shared
+// counter incremented by every thread, comparing CAS-based and HTM-based
+// implementations, each with and without backoff. The HTM-without-backoff
+// variant exhibits the near-livelock the paper attributes to Rock's
+// "requester wins" conflict policy: two transactions storing to the same
+// line keep dooming each other the moment either issues its store.
+package counter
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+)
+
+// Method selects an increment implementation.
+type Method int
+
+// The four methods of the experiment.
+const (
+	CAS Method = iota
+	CASBackoff
+	HTM
+	HTMBackoff
+)
+
+// Name returns the method's label in experiment output.
+func (m Method) Name() string {
+	switch m {
+	case CAS:
+		return "cas"
+	case CASBackoff:
+		return "cas+backoff"
+	case HTM:
+		return "htm"
+	case HTMBackoff:
+		return "htm+backoff"
+	}
+	return "?"
+}
+
+// Counter is a shared counter on its own cache line.
+type Counter struct {
+	addr  sim.Addr
+	stats *core.Stats
+}
+
+// New allocates the counter.
+func New(m *sim.Machine) *Counter {
+	return &Counter{addr: m.Mem().AllocLines(sim.WordsPerLine), stats: core.NewStats()}
+}
+
+// Value returns the current count (validation helper).
+func (c *Counter) Value(mem *sim.Memory) sim.Word { return mem.Peek(c.addr) }
+
+// Stats returns cumulative attempt statistics.
+func (c *Counter) Stats() *core.Stats { return c.stats }
+
+// Inc increments the counter once using the given method.
+func (c *Counter) Inc(s *sim.Strand, m Method) {
+	switch m {
+	case CAS, CASBackoff:
+		for attempt := 0; ; attempt++ {
+			old := s.Load(c.addr)
+			if _, ok := s.CAS(c.addr, old, old+1); ok {
+				c.stats.Ops++
+				return
+			}
+			if m == CASBackoff {
+				core.Backoff(s, attempt)
+			}
+		}
+	case HTM, HTMBackoff:
+		c.stats.HWBlocks++
+		for attempt := 0; ; attempt++ {
+			c.stats.HWAttempts++
+			ok, st := rock.Try(s, func(t *rock.Txn) {
+				t.Store(c.addr, t.Load(c.addr)+1)
+			})
+			if ok {
+				c.stats.HWCommits++
+				c.stats.Ops++
+				return
+			}
+			c.stats.RecordFailure(st)
+			if m == HTMBackoff && st.Has(cps.COH) {
+				core.Backoff(s, attempt)
+			}
+		}
+	}
+}

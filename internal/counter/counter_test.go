@@ -1,0 +1,84 @@
+package counter
+
+import (
+	"testing"
+
+	"rocktm/internal/cps"
+	"rocktm/internal/sim"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 16
+	cfg.Quantum = 8
+	cfg.MaxCycles = 1 << 44
+	return sim.New(cfg)
+}
+
+func TestAllMethodsExact(t *testing.T) {
+	for _, method := range []Method{CAS, CASBackoff, HTM, HTMBackoff} {
+		const threads, per = 4, 150
+		m := newMachine(threads)
+		ctr := New(m)
+		m.Run(func(s *sim.Strand) {
+			for i := 0; i < per; i++ {
+				ctr.Inc(s, method)
+			}
+		})
+		if got := ctr.Value(m.Mem()); got != threads*per {
+			t.Errorf("%s: counter = %d, want %d", method.Name(), got, threads*per)
+		}
+	}
+}
+
+func TestHTMConflictsReportCOH(t *testing.T) {
+	const threads, per = 8, 100
+	m := newMachine(threads)
+	ctr := New(m)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < per; i++ {
+			ctr.Inc(s, HTM)
+		}
+	})
+	st := ctr.Stats()
+	if st.HWAttempts <= uint64(threads*per) {
+		t.Errorf("no retries under contention: attempts=%d", st.HWAttempts)
+	}
+	if st.CPSHist.BitCount(cps.COH) == 0 {
+		t.Error("contended counter recorded no COH failures")
+	}
+}
+
+func TestBackoffReducesAborts(t *testing.T) {
+	run := func(method Method) uint64 {
+		const threads, per = 8, 120
+		m := newMachine(threads)
+		ctr := New(m)
+		m.Run(func(s *sim.Strand) {
+			for i := 0; i < per; i++ {
+				ctr.Inc(s, method)
+			}
+		})
+		st := ctr.Stats()
+		return st.HWAttempts - st.HWCommits
+	}
+	plain := run(HTM)
+	withBackoff := run(HTMBackoff)
+	if withBackoff >= plain {
+		t.Errorf("backoff did not reduce failed attempts: %d vs %d", withBackoff, plain)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	names := map[Method]string{
+		CAS: "cas", CASBackoff: "cas+backoff", HTM: "htm", HTMBackoff: "htm+backoff",
+	}
+	for m, want := range names {
+		if m.Name() != want {
+			t.Errorf("%v.Name() = %q, want %q", int(m), m.Name(), want)
+		}
+	}
+	if Method(99).Name() != "?" {
+		t.Error("unknown method name")
+	}
+}

@@ -1,0 +1,268 @@
+// Package cps models the Rock processor's Checkpoint Status (CPS) register.
+//
+// When a best-effort hardware transaction aborts, the CPS register reports
+// why. The bit assignments and example causes follow Table 1 of Dice, Lev,
+// Moir and Nussbaum, "Early Experience with a Commercial Hardware
+// Transactional Memory Implementation" (ASPLOS 2009). A failing transaction
+// may set several bits at once, and a single bit can be set for more than
+// one underlying reason, which is precisely what makes reacting to failures
+// interesting for software.
+package cps
+
+import (
+	"sort"
+	"strings"
+)
+
+// Bits is the value of the CPS register: a bitwise OR of the failure-reason
+// flags below. The zero value means "no failure recorded".
+type Bits uint32
+
+// CPS register bits, per Table 1 of the paper.
+const (
+	// EXOG (exogenous): intervening code has run; register contents are
+	// invalid. Example: a context switch between the abort and the read
+	// of the CPS register.
+	EXOG Bits = 0x001
+	// COH (coherence): a conflicting memory operation by another strand
+	// invalidated a transactionally marked line (requester wins).
+	COH Bits = 0x002
+	// TCC (trap instruction): a trap instruction evaluated to "taken".
+	// This is how software aborts transactions explicitly.
+	TCC Bits = 0x004
+	// INST (unsupported instruction): an instruction that is not supported
+	// inside transactions was executed; notably the save/restore pair that
+	// implements function calls.
+	INST Bits = 0x008
+	// PREC (precise exception): execution generated a precise exception,
+	// e.g. a null or misaligned dereference, or an ITLB miss.
+	PREC Bits = 0x010
+	// ASYNC: an asynchronous interrupt was received mid-transaction.
+	ASYNC Bits = 0x020
+	// SIZ (size): a hardware resource was exhausted — the write set
+	// exceeded the store queue, or too many instructions were deferred
+	// waiting on cache misses.
+	SIZ Bits = 0x040
+	// LD (load): a cache line in the read set was evicted from the L1
+	// during the transaction.
+	LD Bits = 0x080
+	// ST (store): a data-TLB (micro-DTLB) miss on a store, or a store
+	// whose address depends on an outstanding load miss.
+	ST Bits = 0x100
+	// CTI (control-transfer instruction): a mispredicted branch.
+	CTI Bits = 0x200
+	// FP (floating point): an unsupported arithmetic instruction such as
+	// divide was executed.
+	FP Bits = 0x400
+	// UCTI (unresolved control transfer): a branch was executed before the
+	// load its predicate depends on was resolved; the reported failure
+	// reason may be an artifact of misspeculation, so software should
+	// retry. Added in the R2 chip revision in response to the authors'
+	// feedback.
+	UCTI Bits = 0x800
+)
+
+// All lists every defined bit in ascending mask order.
+var All = []Bits{EXOG, COH, TCC, INST, PREC, ASYNC, SIZ, LD, ST, CTI, FP, UCTI}
+
+var names = map[Bits]string{
+	EXOG:  "EXOG",
+	COH:   "COH",
+	TCC:   "TCC",
+	INST:  "INST",
+	PREC:  "PREC",
+	ASYNC: "ASYNC",
+	SIZ:   "SIZ",
+	LD:    "LD",
+	ST:    "ST",
+	CTI:   "CTI",
+	FP:    "FP",
+	UCTI:  "UCTI",
+}
+
+var descriptions = map[Bits]string{
+	EXOG:  "Exogenous - Intervening code has run: cps register contents are invalid.",
+	COH:   "Coherence - Conflicting memory operation.",
+	TCC:   "Trap Instruction - A trap instruction evaluates to \"taken\".",
+	INST:  "Unsupported Instruction - Instruction not supported inside transactions.",
+	PREC:  "Precise Exception - Execution generated a precise exception.",
+	ASYNC: "Async - Received an asynchronous interrupt.",
+	SIZ:   "Size - Transaction write set exceeded the size of the store queue.",
+	LD:    "Load - Cache line in read set evicted by transaction.",
+	ST:    "Store - Data TLB miss on a store.",
+	CTI:   "Control transfer - Mispredicted branch.",
+	FP:    "Floating point - Divide instruction.",
+	UCTI:  "Unresolved control transfer - branch executed without resolving load on which it depends.",
+}
+
+// Name returns the mnemonic for a single bit, or "?" if b is not one of the
+// defined bits.
+func Name(b Bits) string {
+	if s, ok := names[b]; ok {
+		return s
+	}
+	return "?"
+}
+
+// Describe returns the Table 1 description with an example cause for a
+// single defined bit.
+func Describe(b Bits) string { return descriptions[b] }
+
+// Has reports whether all bits in mask are set in b.
+func (b Bits) Has(mask Bits) bool { return b&mask == mask }
+
+// Any reports whether any bit in mask is set in b.
+func (b Bits) Any(mask Bits) bool { return b&mask != 0 }
+
+// String renders the register as "BIT|BIT|..." in ascending mask order,
+// matching the paper's notation (e.g. "ST|SIZ" is rendered "SIZ|ST").
+// A zero value renders as "NONE".
+func (b Bits) String() string {
+	if b == 0 {
+		return "NONE"
+	}
+	var parts []string
+	for _, bit := range All {
+		if b&bit != 0 {
+			parts = append(parts, names[bit])
+		}
+	}
+	if rest := b &^ (EXOG | COH | TCC | INST | PREC | ASYNC | SIZ | LD | ST | CTI | FP | UCTI); rest != 0 {
+		parts = append(parts, "?")
+	}
+	return strings.Join(parts, "|")
+}
+
+// Histogram counts how often each distinct CPS value was observed across a
+// set of transaction failures. It is the analysis tool behind statements in
+// the paper like "the distribution of CPS values ... is dominated by COH".
+type Histogram struct {
+	counts map[Bits]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[Bits]uint64)}
+}
+
+// Add records one observation of value b.
+func (h *Histogram) Add(b Bits) {
+	h.counts[b]++
+	h.total++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for b, n := range other.counts {
+		h.counts[b] += n
+	}
+	h.total += other.total
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations of exactly value b.
+func (h *Histogram) Count(b Bits) uint64 { return h.counts[b] }
+
+// BitCount returns the number of observations in which bit mask was set
+// (possibly along with other bits).
+func (h *Histogram) BitCount(mask Bits) uint64 {
+	var n uint64
+	for b, c := range h.counts {
+		if b.Any(mask) {
+			n += c
+		}
+	}
+	return n
+}
+
+// Dominant returns the most frequently observed CPS value and its fraction
+// of all observations. It returns (0, 0) for an empty histogram.
+func (h *Histogram) Dominant() (Bits, float64) {
+	if h.total == 0 {
+		return 0, 0
+	}
+	var best Bits
+	var bestN uint64
+	for b, n := range h.counts {
+		if n > bestN || (n == bestN && b < best) {
+			best, bestN = b, n
+		}
+	}
+	return best, float64(bestN) / float64(h.total)
+}
+
+// Entry is one row of a histogram report.
+type Entry struct {
+	Value    Bits
+	Count    uint64
+	Fraction float64
+}
+
+// Entries returns the histogram sorted by descending count (ties broken by
+// ascending value).
+func (h *Histogram) Entries() []Entry {
+	es := make([]Entry, 0, len(h.counts))
+	for b, n := range h.counts {
+		frac := 0.0
+		if h.total > 0 {
+			frac = float64(n) / float64(h.total)
+		}
+		es = append(es, Entry{Value: b, Count: n, Fraction: frac})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Value < es[j].Value
+	})
+	return es
+}
+
+// String renders the histogram as a compact single-line summary, e.g.
+// "COH:812(81.2%) LD:120(12.0%) ...".
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty)"
+	}
+	var sb strings.Builder
+	for i, e := range h.Entries() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(e.Value.String())
+		sb.WriteByte(':')
+		writeUint(&sb, e.Count)
+		sb.WriteByte('(')
+		writePct(&sb, e.Fraction)
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+func writeUint(sb *strings.Builder, v uint64) {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	sb.Write(buf[i:])
+}
+
+func writePct(sb *strings.Builder, f float64) {
+	tenths := int64(f*1000 + 0.5)
+	writeUint(sb, uint64(tenths/10))
+	sb.WriteByte('.')
+	sb.WriteByte(byte('0' + tenths%10))
+	sb.WriteByte('%')
+}

@@ -1,0 +1,127 @@
+package cps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitValuesMatchTable1(t *testing.T) {
+	want := map[Bits]uint32{
+		EXOG: 0x001, COH: 0x002, TCC: 0x004, INST: 0x008,
+		PREC: 0x010, ASYNC: 0x020, SIZ: 0x040, LD: 0x080,
+		ST: 0x100, CTI: 0x200, FP: 0x400, UCTI: 0x800,
+	}
+	for b, v := range want {
+		if uint32(b) != v {
+			t.Errorf("%s = %#x, want %#x", Name(b), uint32(b), v)
+		}
+	}
+	if len(All) != 12 {
+		t.Errorf("All has %d bits, want 12", len(All))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		in   Bits
+		want string
+	}{
+		{0, "NONE"},
+		{ST, "ST"},
+		{ST | SIZ, "SIZ|ST"}, // ascending mask order
+		{LD | PREC, "PREC|LD"},
+		{EXOG | UCTI, "EXOG|UCTI"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%#x.String() = %q, want %q", uint32(c.in), got, c.want)
+		}
+	}
+}
+
+func TestHasAndAny(t *testing.T) {
+	v := ST | SIZ
+	if !v.Has(ST) || !v.Has(ST|SIZ) || v.Has(ST|LD) {
+		t.Error("Has misbehaves")
+	}
+	if !v.Any(LD|SIZ) || v.Any(LD|COH) {
+		t.Error("Any misbehaves")
+	}
+}
+
+func TestDescriptionsComplete(t *testing.T) {
+	for _, b := range All {
+		if Describe(b) == "" {
+			t.Errorf("no description for %s", Name(b))
+		}
+		if Name(b) == "?" {
+			t.Errorf("no name for %#x", uint32(b))
+		}
+	}
+}
+
+func TestHistogramCountsAndDominant(t *testing.T) {
+	h := NewHistogram()
+	if d, f := h.Dominant(); d != 0 || f != 0 {
+		t.Error("empty histogram has a dominant value")
+	}
+	for i := 0; i < 7; i++ {
+		h.Add(COH)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(ST | SIZ)
+	}
+	if h.Total() != 10 || h.Count(COH) != 7 {
+		t.Errorf("total=%d count(COH)=%d", h.Total(), h.Count(COH))
+	}
+	if h.BitCount(SIZ) != 3 || h.BitCount(COH) != 7 {
+		t.Error("BitCount wrong")
+	}
+	d, f := h.Dominant()
+	if d != COH || f != 0.7 {
+		t.Errorf("Dominant = (%v, %v)", d, f)
+	}
+	es := h.Entries()
+	if len(es) != 2 || es[0].Value != COH || es[1].Count != 3 {
+		t.Errorf("Entries = %+v", es)
+	}
+	other := NewHistogram()
+	other.Add(COH)
+	h.Merge(other)
+	if h.Count(COH) != 8 || h.Total() != 11 {
+		t.Error("Merge lost observations")
+	}
+	h.Merge(nil) // must not panic
+}
+
+func TestHistogramStringNonEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "(empty)" {
+		t.Error("empty rendering")
+	}
+	h.Add(LD)
+	h.Add(LD)
+	h.Add(COH)
+	s := h.String()
+	if s == "" || s == "(empty)" {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+// TestQuickHistogramTotals: total always equals the sum of entry counts.
+func TestQuickHistogramTotals(t *testing.T) {
+	prop := func(adds []uint16) bool {
+		h := NewHistogram()
+		for _, a := range adds {
+			h.Add(Bits(a) & 0xFFF)
+		}
+		var sum uint64
+		for _, e := range h.Entries() {
+			sum += e.Count
+		}
+		return sum == h.Total() && int(h.Total()) == len(adds)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

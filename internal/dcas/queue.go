@@ -1,0 +1,174 @@
+package dcas
+
+import (
+	"rocktm/internal/alloc"
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// The paper's Section 4 reimplements two java.util.concurrent structures
+// over the HTM-backed DCAS. The second pair here is a FIFO queue: the
+// hand-crafted baseline is the Michael–Scott lock-free queue (the design
+// behind java.util.concurrent.ConcurrentLinkedQueue), whose subtlety is
+// the lagging tail pointer and the helping protocol around it; the DCAS
+// version updates the tail node's link and the tail pointer in one atomic
+// step, eliminating the intermediate states and the helping entirely —
+// the simplification DCAS was historically advocated for.
+
+// Queue node layout.
+const (
+	qVal           = 0
+	qNext          = 1
+	queueNodeWords = sim.WordsPerLine
+)
+
+var pcQueueWalk = core.PC("dcas.queue.walk")
+
+// DCASQueue is the DCAS-simplified FIFO queue.
+type DCASQueue struct {
+	head sim.Addr // word holding the head node address
+	tail sim.Addr // word holding the tail node address
+	pool *alloc.Pool
+	d    *DCAS
+}
+
+// NewDCASQueue builds an empty queue with the given node capacity.
+func NewDCASQueue(m *sim.Machine, d *DCAS, capacity int) *DCASQueue {
+	q := &DCASQueue{
+		head: m.Mem().AllocLines(sim.WordsPerLine),
+		tail: m.Mem().AllocLines(sim.WordsPerLine),
+		pool: alloc.NewPool(m, queueNodeWords, capacity+1),
+		d:    d,
+	}
+	dummy := q.pool.Prealloc(m.Mem())
+	m.Mem().Poke(q.head, sim.Word(dummy))
+	m.Mem().Poke(q.tail, sim.Word(dummy))
+	return q
+}
+
+// Enqueue appends val. One DCAS links the new node after the tail node and
+// swings the tail pointer — there is never a half-linked state.
+func (q *DCASQueue) Enqueue(s *sim.Strand, val sim.Word) {
+	node := q.pool.Get(s)
+	s.Store(node+qVal, val)
+	s.Store(node+qNext, 0)
+	for {
+		tail := s.Load(q.tail)
+		if q.d.Do(s,
+			sim.Addr(tail)+qNext, 0, sim.Word(node),
+			q.tail, tail, sim.Word(node)) {
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, or ok=false when empty.
+// The DCAS advances head and poisons the departing dummy's next pointer in
+// one step, so traversing or racing operations can never follow a retired
+// node.
+func (q *DCASQueue) Dequeue(s *sim.Strand) (sim.Word, bool) {
+	for {
+		head := s.Load(q.head)
+		next := s.Load(sim.Addr(head) + qNext)
+		if next == 0 {
+			return 0, false
+		}
+		if next == deadNext {
+			continue // head moved under us; reread
+		}
+		val := s.Load(sim.Addr(next) + qVal)
+		if q.d.Do(s,
+			q.head, head, next,
+			sim.Addr(head)+qNext, next, deadNext) {
+			return val, true
+		}
+	}
+}
+
+// LenDirect counts queued values with no cycle accounting (validation).
+func (q *DCASQueue) LenDirect(mem *sim.Memory) int {
+	n := 0
+	for p := mem.Peek(sim.Addr(mem.Peek(q.head)) + qNext); p != 0 && p != deadNext; p = mem.Peek(sim.Addr(p) + qNext) {
+		n++
+	}
+	return n
+}
+
+// MSQueue is the hand-crafted Michael–Scott lock-free queue.
+type MSQueue struct {
+	head sim.Addr
+	tail sim.Addr
+	pool *alloc.Pool
+}
+
+// NewMSQueue builds an empty queue with the given node capacity.
+func NewMSQueue(m *sim.Machine, capacity int) *MSQueue {
+	q := &MSQueue{
+		head: m.Mem().AllocLines(sim.WordsPerLine),
+		tail: m.Mem().AllocLines(sim.WordsPerLine),
+		pool: alloc.NewPool(m, queueNodeWords, capacity+1),
+	}
+	dummy := q.pool.Prealloc(m.Mem())
+	m.Mem().Poke(q.head, sim.Word(dummy))
+	m.Mem().Poke(q.tail, sim.Word(dummy))
+	return q
+}
+
+// Enqueue appends val with the classic two-step protocol: CAS the link,
+// then swing the (possibly lagging) tail, helping a stalled peer if the
+// tail is behind.
+func (q *MSQueue) Enqueue(s *sim.Strand, val sim.Word) {
+	node := q.pool.Get(s)
+	s.Store(node+qVal, val)
+	s.Store(node+qNext, 0)
+	for {
+		tail := s.Load(q.tail)
+		next := s.Load(sim.Addr(tail) + qNext)
+		if s.Load(q.tail) != tail {
+			s.Branch(pcQueueWalk, true)
+			continue
+		}
+		if next != 0 {
+			// Tail is lagging: help swing it and retry.
+			s.CAS(q.tail, tail, next)
+			continue
+		}
+		if _, ok := s.CAS(sim.Addr(tail)+qNext, 0, sim.Word(node)); ok {
+			s.CAS(q.tail, tail, sim.Word(node))
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, or ok=false when empty.
+func (q *MSQueue) Dequeue(s *sim.Strand) (sim.Word, bool) {
+	for {
+		head := s.Load(q.head)
+		tail := s.Load(q.tail)
+		next := s.Load(sim.Addr(head) + qNext)
+		if s.Load(q.head) != head {
+			continue
+		}
+		if head == tail {
+			if next == 0 {
+				return 0, false
+			}
+			// Tail lagging behind a concurrent enqueue: help.
+			s.CAS(q.tail, tail, next)
+			continue
+		}
+		val := s.Load(sim.Addr(next) + qVal)
+		if _, ok := s.CAS(q.head, head, next); ok {
+			return val, true
+		}
+	}
+}
+
+// LenDirect counts queued values with no cycle accounting (validation).
+func (q *MSQueue) LenDirect(mem *sim.Memory) int {
+	n := 0
+	for p := mem.Peek(sim.Addr(mem.Peek(q.head)) + qNext); p != 0; p = mem.Peek(sim.Addr(p) + qNext) {
+		n++
+	}
+	return n
+}

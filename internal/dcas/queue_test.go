@@ -1,0 +1,106 @@
+package dcas
+
+import (
+	"testing"
+
+	"rocktm/internal/sim"
+)
+
+type fifo interface {
+	Enqueue(s *sim.Strand, val sim.Word)
+	Dequeue(s *sim.Strand) (sim.Word, bool)
+}
+
+func testQueueFIFO(t *testing.T, build func(m *sim.Machine) fifo) {
+	t.Helper()
+	m := newMachine(1)
+	q := build(m)
+	m.Run(func(s *sim.Strand) {
+		if _, ok := q.Dequeue(s); ok {
+			t.Error("dequeue from empty succeeded")
+		}
+		for i := sim.Word(1); i <= 100; i++ {
+			q.Enqueue(s, i)
+		}
+		for i := sim.Word(1); i <= 100; i++ {
+			got, ok := q.Dequeue(s)
+			if !ok || got != i {
+				t.Fatalf("dequeue = (%d,%v), want (%d,true)", got, ok, i)
+			}
+		}
+		if _, ok := q.Dequeue(s); ok {
+			t.Error("drained queue not empty")
+		}
+	})
+}
+
+func TestDCASQueueFIFO(t *testing.T) {
+	testQueueFIFO(t, func(m *sim.Machine) fifo { return NewDCASQueue(m, New(m), 256) })
+}
+
+func TestMSQueueFIFO(t *testing.T) {
+	testQueueFIFO(t, func(m *sim.Machine) fifo { return NewMSQueue(m, 256) })
+}
+
+// testQueueConcurrent runs producers and consumers concurrently; every
+// enqueued value must be dequeued exactly once, and per-producer order must
+// be preserved (FIFO per source).
+func testQueueConcurrent(t *testing.T, build func(m *sim.Machine) fifo) {
+	t.Helper()
+	const threads, per = 6, 120
+	m := newMachine(threads)
+	q := build(m)
+	consumed := make([][]sim.Word, threads)
+	m.Run(func(s *sim.Strand) {
+		id := sim.Word(s.ID())
+		if s.ID()%2 == 0 { // producer
+			for i := sim.Word(0); i < per; i++ {
+				q.Enqueue(s, id<<32|i)
+			}
+		} else { // consumer: pop until it has per items or producers drain
+			for len(consumed[s.ID()]) < per {
+				if v, ok := q.Dequeue(s); ok {
+					consumed[s.ID()] = append(consumed[s.ID()], v)
+				} else {
+					s.Advance(200)
+				}
+			}
+		}
+	})
+	perProducerLast := map[sim.Word]sim.Word{}
+	seen := map[sim.Word]bool{}
+	total := 0
+	for _, list := range consumed {
+		for _, v := range list {
+			if seen[v] {
+				t.Fatalf("value %#x dequeued twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	// Per-producer FIFO: within each consumer's stream, sequence numbers of
+	// one producer must ascend.
+	for _, list := range consumed {
+		last := map[sim.Word]int64{}
+		for _, v := range list {
+			src, seq := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[src]; ok && seq <= prev {
+				t.Fatalf("producer %d reordered: %d after %d", src, seq, prev)
+			}
+			last[src] = seq
+		}
+	}
+	_ = perProducerLast
+	if total != threads/2*per {
+		t.Fatalf("consumed %d values, want %d", total, threads/2*per)
+	}
+}
+
+func TestDCASQueueConcurrent(t *testing.T) {
+	testQueueConcurrent(t, func(m *sim.Machine) fifo { return NewDCASQueue(m, New(m), 1<<12) })
+}
+
+func TestMSQueueConcurrent(t *testing.T) {
+	testQueueConcurrent(t, func(m *sim.Machine) fifo { return NewMSQueue(m, 1<<12) })
+}

@@ -1,0 +1,243 @@
+// Package graphgen builds the sparse road-network-style graphs the MSF
+// experiment runs on. The paper uses the Eastern-USA roadmap from the 9th
+// DIMACS Implementation Challenge (3,598,623 nodes, 8,778,114 directed
+// arcs, average degree ≈ 2.44); that file is not redistributable here, so
+// Roadmap synthesizes a graph with the same character — a planar-ish grid
+// backbone with random weights and a sprinkling of shortcut edges, giving
+// the same sparsity and the same rarity of growth-front collisions. A
+// DIMACS .gr reader and writer are provided for running on the real data
+// when available.
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"rocktm/internal/sim"
+)
+
+// Edge is one undirected weighted edge.
+type Edge struct {
+	U, V uint32
+	W    uint32
+}
+
+// Graph is a weighted undirected graph in CSR form over simulated memory:
+// each undirected edge appears as two directed arcs.
+type Graph struct {
+	N int // vertices (numbered 0..N-1)
+	M int // undirected edges
+
+	offA sim.Addr // N+1 words: arc offsets
+	dstA sim.Addr // 2M words: arc heads
+	wA   sim.Addr // 2M words: arc weights
+
+	edges []Edge // Go-side copy for validation (Kruskal baseline)
+}
+
+// Build lays a Go-side edge list out as CSR in m's simulated memory.
+func Build(m *sim.Machine, n int, edges []Edge) *Graph {
+	mem := m.Mem()
+	g := &Graph{N: n, M: len(edges), edges: edges}
+	deg := make([]uint32, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.offA = mem.AllocLines(n + 1)
+	g.dstA = mem.AllocLines(2*len(edges) + 1)
+	g.wA = mem.AllocLines(2*len(edges) + 1)
+	for i := 0; i <= n; i++ {
+		mem.Poke(g.offA+sim.Addr(i), sim.Word(deg[i]))
+	}
+	cursor := make([]uint32, n)
+	copy(cursor, deg[:n])
+	put := func(u, v, w uint32) {
+		at := cursor[u]
+		cursor[u]++
+		mem.Poke(g.dstA+sim.Addr(at), sim.Word(v))
+		mem.Poke(g.wA+sim.Addr(at), sim.Word(w))
+	}
+	for _, e := range edges {
+		put(e.U, e.V, e.W)
+		put(e.V, e.U, e.W)
+	}
+	return g
+}
+
+// Arcs returns the arc range [lo, hi) of vertex v, reading the CSR offsets
+// through ctx (transactionally or not, per the caller).
+func (g *Graph) Arcs(c interface {
+	Load(sim.Addr) sim.Word
+}, v uint32) (lo, hi uint32) {
+	lo = uint32(c.Load(g.offA + sim.Addr(v)))
+	hi = uint32(c.Load(g.offA + sim.Addr(v) + 1))
+	return lo, hi
+}
+
+// Arc returns arc i's head and weight through ctx.
+func (g *Graph) Arc(c interface {
+	Load(sim.Addr) sim.Word
+}, i uint32) (dst uint32, w sim.Word) {
+	return uint32(c.Load(g.dstA + sim.Addr(i))), c.Load(g.wA + sim.Addr(i))
+}
+
+// Edges returns the Go-side edge list (validation only).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// rng is a local splitmix64 (the generator must not depend on internal/sim
+// seeds, so graphs are stable across simulator config changes).
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RoadmapEdges synthesizes the edge list of a width×height road grid with
+// extra shortcut edges (fraction extra of the grid edge count) and weights
+// in [1, maxW].
+func RoadmapEdges(width, height int, extra float64, maxW uint32, seed uint64) (int, []Edge) {
+	n := width * height
+	r := rng(seed)
+	id := func(x, y int) uint32 { return uint32(y*width + x) }
+	var edges []Edge
+	w := func() uint32 { return 1 + uint32(r.next()%uint64(maxW)) }
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width {
+				edges = append(edges, Edge{id(x, y), id(x+1, y), w()})
+			}
+			if y+1 < height {
+				edges = append(edges, Edge{id(x, y), id(x, y+1), w()})
+			}
+		}
+	}
+	shortcuts := int(extra * float64(len(edges)))
+	for i := 0; i < shortcuts; i++ {
+		u := uint32(r.next() % uint64(n))
+		v := uint32(r.next() % uint64(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{u, v, w()})
+	}
+	return n, edges
+}
+
+// Roadmap builds a synthetic road network directly into m's memory.
+func Roadmap(m *sim.Machine, width, height int, extra float64, seed uint64) *Graph {
+	n, edges := RoadmapEdges(width, height, extra, 1<<20, seed)
+	return Build(m, n, edges)
+}
+
+// KruskalWeight computes the minimum-spanning-forest weight of the edge
+// list with sequential Kruskal (the validation oracle), returning the total
+// weight and the number of forest edges.
+func KruskalWeight(n int, edges []Edge) (uint64, int) {
+	idx := make([]int, len(edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return edges[idx[a]].W < edges[idx[b]].W })
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total uint64
+	count := 0
+	for _, i := range idx {
+		e := edges[i]
+		ru, rv := find(int32(e.U)), find(int32(e.V))
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		total += uint64(e.W)
+		count++
+	}
+	return total, count
+}
+
+// WriteDIMACS emits the graph in DIMACS .gr format (directed arcs, both
+// directions).
+func WriteDIMACS(w io.Writer, n int, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p sp %d %d\n", n, 2*len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(bw, "a %d %d %d\n", e.U+1, e.V+1, e.W)
+		fmt.Fprintf(bw, "a %d %d %d\n", e.V+1, e.U+1, e.W)
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS .gr file. Arcs are de-duplicated into
+// undirected edges (keeping the lower weight when the two directions
+// disagree, as shortest-path files sometimes do).
+func ReadDIMACS(r io.Reader) (int, []Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	type key struct{ u, v uint32 }
+	seen := make(map[key]uint32)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		switch line[0] {
+		case 'p':
+			var kind string
+			var m int
+			if _, err := fmt.Sscanf(line, "p %s %d %d", &kind, &n, &m); err != nil {
+				return 0, nil, fmt.Errorf("graphgen: bad problem line %q: %v", line, err)
+			}
+		case 'a':
+			var u, v, w uint32
+			if _, err := fmt.Sscanf(line, "a %d %d %d", &u, &v, &w); err != nil {
+				return 0, nil, fmt.Errorf("graphgen: bad arc line %q: %v", line, err)
+			}
+			if u == v {
+				continue
+			}
+			a, b := u-1, v-1
+			if a > b {
+				a, b = b, a
+			}
+			k := key{a, b}
+			if old, ok := seen[k]; !ok || w < old {
+				seen[k] = w
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	edges := make([]Edge, 0, len(seen))
+	for k, w := range seen {
+		edges = append(edges, Edge{U: k.u, V: k.v, W: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return n, edges, nil
+}

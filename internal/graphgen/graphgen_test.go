@@ -1,0 +1,131 @@
+package graphgen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+func TestRoadmapShape(t *testing.T) {
+	n, edges := RoadmapEdges(10, 8, 0, 100, 1)
+	if n != 80 {
+		t.Fatalf("n = %d, want 80", n)
+	}
+	// A W×H grid has W(H-1) + H(W-1) edges.
+	want := 10*7 + 8*9
+	if len(edges) != want {
+		t.Fatalf("edges = %d, want %d", len(edges), want)
+	}
+	for _, e := range edges {
+		if e.U >= 80 || e.V >= 80 || e.U == e.V {
+			t.Fatalf("bad edge %+v", e)
+		}
+		if e.W < 1 || e.W > 100 {
+			t.Fatalf("weight out of range: %+v", e)
+		}
+	}
+}
+
+func TestRoadmapDeterministic(t *testing.T) {
+	_, a := RoadmapEdges(12, 12, 0.1, 1000, 42)
+	_, b := RoadmapEdges(12, 12, 0.1, 1000, 42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	_, c := RoadmapEdges(12, 12, 0.1, 1000, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestCSRMatchesEdgeList(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.MemWords = 1 << 20
+	m := sim.New(cfg)
+	n, edges := RoadmapEdges(6, 6, 0.2, 50, 9)
+	g := Build(m, n, edges)
+	c := core.Setup{Mem: m.Mem()}
+	// Count arcs per vertex and total weight; both directions must appear.
+	totalArcs := 0
+	var totalW uint64
+	for v := uint32(0); v < uint32(n); v++ {
+		lo, hi := g.Arcs(c, v)
+		for i := lo; i < hi; i++ {
+			dst, w := g.Arc(c, i)
+			if dst >= uint32(n) {
+				t.Fatalf("arc to out-of-range vertex %d", dst)
+			}
+			totalArcs++
+			totalW += uint64(w)
+		}
+	}
+	if totalArcs != 2*len(edges) {
+		t.Fatalf("CSR holds %d arcs, want %d", totalArcs, 2*len(edges))
+	}
+	var wantW uint64
+	for _, e := range edges {
+		wantW += 2 * uint64(e.W)
+	}
+	if totalW != wantW {
+		t.Fatalf("arc weight sum %d, want %d", totalW, wantW)
+	}
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	// Triangle with weights 1,2,3: MST = 1+2.
+	edges := []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}}
+	w, n := KruskalWeight(3, edges)
+	if w != 3 || n != 2 {
+		t.Fatalf("Kruskal = (%d,%d), want (3,2)", w, n)
+	}
+	// Disconnected pair: forest with one edge.
+	edges = []Edge{{0, 1, 5}}
+	w, n = KruskalWeight(4, edges)
+	if w != 5 || n != 1 {
+		t.Fatalf("forest Kruskal = (%d,%d), want (5,1)", w, n)
+	}
+}
+
+func TestDIMACSRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadDIMACS(bytes.NewBufferString("p sp x y\n")); err == nil {
+		t.Error("bad problem line accepted")
+	}
+	if _, _, err := ReadDIMACS(bytes.NewBufferString("p sp 2 2\na 1 zwei 3\n")); err == nil {
+		t.Error("bad arc line accepted")
+	}
+}
+
+func TestQuickKruskalBounds(t *testing.T) {
+	// The MSF weight of any graph is at most the sum of all weights and the
+	// edge count at most n-1.
+	prop := func(seed uint64, dim uint8) bool {
+		d := 3 + int(dim%8)
+		n, edges := RoadmapEdges(d, d, 0.3, 1000, seed)
+		w, cnt := KruskalWeight(n, edges)
+		var total uint64
+		for _, e := range edges {
+			total += uint64(e.W)
+		}
+		return w <= total && cnt <= n-1 && cnt > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/core"
+	"rocktm/internal/phtm"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 21
+	cfg.MaxCycles = 1 << 42
+	return sim.New(cfg)
+}
+
+// TestAgainstModel drives the table single-threaded under PhTM against a
+// model map.
+func TestAgainstModel(t *testing.T) {
+	m := newMachine(1)
+	table := New(m, 1<<12, 1<<12)
+	sys := phtm.New(m, sky.New(m), phtm.DefaultConfig())
+	model := map[uint64]bool{}
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < 2500; i++ {
+			key := uint64(s.RandIntn(300))
+			switch s.RandIntn(3) {
+			case 0:
+				got := table.InsertOp(sys, s, key, sim.Word(key))
+				if got == model[key] {
+					t.Errorf("op %d: insert(%d)=%v model=%v", i, key, got, model[key])
+					return
+				}
+				model[key] = true
+			case 1:
+				got := table.DeleteOp(sys, s, key)
+				if got != model[key] {
+					t.Errorf("op %d: delete(%d)=%v model=%v", i, key, got, model[key])
+					return
+				}
+				delete(model, key)
+			case 2:
+				_, got := table.LookupOp(sys, s, key)
+				if got != model[key] {
+					t.Errorf("op %d: lookup(%d)=%v model=%v", i, key, got, model[key])
+					return
+				}
+			}
+		}
+	})
+	if n := table.Count(m.Mem()); n != len(model) {
+		t.Fatalf("table holds %d keys, model %d", n, len(model))
+	}
+	for k := range model {
+		if !table.ContainsDirect(m.Mem(), k) {
+			t.Fatalf("missing key %d", k)
+		}
+	}
+}
+
+// TestPrepopulate verifies direct prepopulation is visible to transactional
+// readers.
+func TestPrepopulate(t *testing.T) {
+	m := newMachine(1)
+	table := New(m, 1<<12, 1<<12)
+	keys := []uint64{1, 5, 9, 1000, 77}
+	table.Prepopulate(m.Mem(), keys, 42)
+	if n := table.Count(m.Mem()); n != len(keys) {
+		t.Fatalf("count = %d, want %d", n, len(keys))
+	}
+	sys := phtm.New(m, sky.New(m), phtm.DefaultConfig())
+	m.Run(func(s *sim.Strand) {
+		for _, k := range keys {
+			if v, ok := table.LookupOp(sys, s, k); !ok || v != 42 {
+				t.Errorf("lookup(%d) = (%d,%v), want (42,true)", k, v, ok)
+			}
+		}
+		if _, ok := table.LookupOp(sys, s, 12345); ok {
+			t.Error("found key that was never inserted")
+		}
+	})
+}
+
+// TestConcurrentDisjoint inserts disjoint ranges from several strands; all
+// keys must survive.
+func TestConcurrentDisjoint(t *testing.T) {
+	const threads = 6
+	m := newMachine(threads)
+	table := New(m, 1<<12, 1<<13)
+	sys := phtm.New(m, sky.New(m), phtm.DefaultConfig())
+	m.Run(func(s *sim.Strand) {
+		base := uint64(s.ID()) * 10000
+		for i := uint64(0); i < 150; i++ {
+			if !table.InsertOp(sys, s, base+i, 1) {
+				t.Errorf("insert of fresh key %d failed", base+i)
+				return
+			}
+		}
+		for i := uint64(0); i < 150; i += 3 {
+			if !table.DeleteOp(sys, s, base+i) {
+				t.Errorf("delete of present key %d failed", base+i)
+				return
+			}
+		}
+	})
+	want := threads * 100
+	if n := table.Count(m.Mem()); n != want {
+		t.Fatalf("table holds %d keys, want %d", n, want)
+	}
+}
+
+// TestHashSpreads is a property test: the multiplicative hash never needs a
+// divide and spreads adjacent keys to distinct buckets nearly always.
+func TestHashSpreads(t *testing.T) {
+	m := newMachine(1)
+	table := New(m, 1<<17, 8)
+	prop := func(k uint64) bool {
+		h1 := table.hash(k)
+		h2 := table.hash(k + 1)
+		return h1 <= table.mask && h2 <= table.mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	// Adjacent small keys (the benchmark's key ranges) should not pile into
+	// few buckets.
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 256; k++ {
+		seen[table.hash(k)] = true
+	}
+	if len(seen) < 250 {
+		t.Errorf("256 adjacent keys landed in only %d buckets", len(seen))
+	}
+}
+
+var _ = core.PC // import anchor

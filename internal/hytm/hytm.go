@@ -1,0 +1,103 @@
+// Package hytm implements Hybrid Transactional Memory (Damron, Fedorova,
+// Lev, Luchangco, Moir, Nussbaum — ASPLOS 2006): every atomic block first
+// attempts to run as a best-effort hardware transaction whose every access
+// is instrumented to check the STM's ownership metadata, and transparently
+// falls back to a pure software transaction when hardware attempts keep
+// failing. Hardware and software transactions may run concurrently — the
+// access-level checks are what keep them from stepping on each other —
+// which distinguishes HyTM from PhTM's global phases, and is also why its
+// hardware path is roughly twice as expensive as PhTM's uninstrumented one
+// (the factor the paper observes in Figure 1).
+package hytm
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm"
+)
+
+// Config tunes the retry policy.
+type Config struct {
+	// MaxFailures is the failure score at which the block falls back to a
+	// software transaction.
+	MaxFailures float64
+	// UCTIWeight is the score of a UCTI-flagged failure.
+	UCTIWeight float64
+}
+
+// DefaultConfig returns the policy used in the experiments.
+func DefaultConfig() Config { return Config{MaxFailures: 6, UCTIWeight: 0.5} }
+
+// System is a HyTM instance over a HybridSTM back end.
+type System struct {
+	name  string
+	back  stm.HybridSTM
+	cfg   Config
+	stats *core.Stats
+}
+
+// New builds a HyTM system over back (which must not be used standalone
+// concurrently, or its statistics will blend).
+func New(back stm.HybridSTM, cfg Config) *System {
+	return &System{name: "hytm", back: back, cfg: cfg, stats: core.NewStats()}
+}
+
+// Name implements core.System.
+func (h *System) Name() string { return h.name }
+
+// SetName overrides the reported name.
+func (h *System) SetName(n string) { h.name = n }
+
+// Stats implements core.System: a merged snapshot of the hardware-path
+// counters and the software back end's.
+func (h *System) Stats() *core.Stats {
+	out := core.NewStats()
+	out.Merge(h.stats)
+	out.Merge(h.back.Stats())
+	return out
+}
+
+// Atomic implements core.System.
+func (h *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
+	st := h.stats
+	st.HWBlocks++
+	failScore := 0.0
+	for attempt := 0; failScore < h.cfg.MaxFailures; attempt++ {
+		st.HWAttempts++
+		ok, c := rock.Try(s, func(tx *rock.Txn) {
+			body(h.back.HWCtx(tx))
+		})
+		if ok {
+			st.HWCommits++
+			st.Ops++
+			return
+		}
+		st.RecordFailure(c)
+		switch {
+		case c == cps.TCC:
+			// The instrumentation's explicit abort: a software transaction
+			// owns something we touched. Back off and retry; do not burn
+			// the full failure budget on it.
+			failScore += 0.5
+			core.Backoff(s, attempt)
+		case c.Has(cps.UCTI):
+			// UCTI dominates: companion bits may be misspeculation
+			// artifacts, so retry rather than trusting them (Section 3).
+			failScore += h.cfg.UCTIWeight
+		case c.Any(cps.INST | cps.FP | cps.PREC):
+			failScore = h.cfg.MaxFailures // will never succeed in hardware
+		default:
+			failScore++
+			if c.Has(cps.COH) {
+				core.Backoff(s, attempt)
+			}
+		}
+	}
+	// Software fallback; the back end retries internally until it commits.
+	h.back.Atomic(s, body)
+}
+
+// AtomicRO implements core.System.
+func (h *System) AtomicRO(s *sim.Strand, body func(core.Ctx)) { h.Atomic(s, body) }

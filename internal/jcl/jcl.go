@@ -1,0 +1,206 @@
+// Package jcl provides the java.util collection classes of the Section 7.2
+// experiments: the synchronized Hashtable (whose hash function contains a
+// divide instruction unless "slightly modified to factor it out"), HashMap
+// behind a synchronized wrapper (whose JIT inlining fate decides whether
+// TLE can elide its monitor), and TreeMap, a red-black tree.
+package jcl
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/hashtable"
+	"rocktm/internal/jvm"
+	"rocktm/internal/rbtree"
+	"rocktm/internal/sim"
+)
+
+// Hashtable is java.util.Hashtable: a chained table whose public methods
+// are synchronized on the object's monitor.
+type Hashtable struct {
+	vm  *jvm.JVM
+	mon *jvm.Monitor
+	tbl *hashtable.Table
+	// DivideHash keeps the original divide instruction in the hash
+	// function; every elided transaction then aborts with CPS=FP. The
+	// benchmark version factors it out (false).
+	DivideHash bool
+}
+
+// NewHashtable builds a table with the given bucket count and capacity.
+func NewHashtable(m *sim.Machine, vm *jvm.JVM, buckets, capacity int) *Hashtable {
+	return &Hashtable{vm: vm, mon: vm.NewMonitor(m), tbl: hashtable.New(m, buckets, capacity)}
+}
+
+func (h *Hashtable) hashCost(c core.Ctx) {
+	if h.DivideHash {
+		c.Div() // hash % table.length
+	}
+}
+
+// Put maps key→val, reporting whether the key was absent.
+func (h *Hashtable) Put(s *sim.Strand, key uint64, val sim.Word) bool {
+	node := h.tbl.AllocNode(s, key, val)
+	inserted := false
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.hashCost(c)
+		inserted = h.tbl.InsertNode(c, key, node)
+	})
+	if !inserted {
+		h.tbl.FreeNode(s, node)
+	}
+	return inserted
+}
+
+// Get looks key up.
+func (h *Hashtable) Get(s *sim.Strand, key uint64) (sim.Word, bool) {
+	var v sim.Word
+	var ok bool
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.hashCost(c)
+		v, ok = h.tbl.Lookup(c, key)
+	})
+	return v, ok
+}
+
+// Remove deletes key, reporting whether it was present.
+func (h *Hashtable) Remove(s *sim.Strand, key uint64) bool {
+	var removed sim.Addr
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.hashCost(c)
+		removed = h.tbl.DeleteNode(c, key)
+	})
+	if removed != 0 {
+		h.tbl.FreeNode(s, removed)
+		return true
+	}
+	return false
+}
+
+// Prepopulate fills the table directly (setup only).
+func (h *Hashtable) Prepopulate(mem *sim.Memory, keys []uint64, val sim.Word) {
+	h.tbl.Prepopulate(mem, keys, val)
+}
+
+// Count walks the table directly (validation only).
+func (h *Hashtable) Count(mem *sim.Memory) int { return h.tbl.Count(mem) }
+
+// HashMap is java.util.HashMap made thread-safe by a synchronized wrapper
+// (Collections.synchronizedMap). The JIT may inline the wrapper together
+// with the HashMap method — keeping the synchronized region call-free — or
+// outline the method later, putting a function call inside every elided
+// transaction.
+type HashMap struct {
+	vm  *jvm.JVM
+	mon *jvm.Monitor
+	tbl *hashtable.Table
+	// PutSite, GetSite and RemoveSite model the JIT's inlining decision per
+	// method (the paper observed put being outlined mid-run).
+	PutSite, GetSite, RemoveSite jvm.CallSite
+}
+
+// NewHashMap builds a wrapped HashMap.
+func NewHashMap(m *sim.Machine, vm *jvm.JVM, buckets, capacity int) *HashMap {
+	return &HashMap{vm: vm, mon: vm.NewMonitor(m), tbl: hashtable.New(m, buckets, capacity)}
+}
+
+// Put maps key→val through the synchronized wrapper.
+func (h *HashMap) Put(s *sim.Strand, key uint64, val sim.Word) bool {
+	node := h.tbl.AllocNode(s, key, val)
+	inserted := false
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.PutSite.Invoke(c)
+		inserted = h.tbl.InsertNode(c, key, node)
+	})
+	if !inserted {
+		h.tbl.FreeNode(s, node)
+	}
+	return inserted
+}
+
+// Get looks key up through the wrapper.
+func (h *HashMap) Get(s *sim.Strand, key uint64) (sim.Word, bool) {
+	var v sim.Word
+	var ok bool
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.GetSite.Invoke(c)
+		v, ok = h.tbl.Lookup(c, key)
+	})
+	return v, ok
+}
+
+// Remove deletes key through the wrapper.
+func (h *HashMap) Remove(s *sim.Strand, key uint64) bool {
+	var removed sim.Addr
+	h.vm.Synchronized(s, h.mon, func(c core.Ctx) {
+		h.RemoveSite.Invoke(c)
+		removed = h.tbl.DeleteNode(c, key)
+	})
+	if removed != 0 {
+		h.tbl.FreeNode(s, removed)
+		return true
+	}
+	return false
+}
+
+// Prepopulate fills the map directly (setup only).
+func (h *HashMap) Prepopulate(mem *sim.Memory, keys []uint64, val sim.Word) {
+	h.tbl.Prepopulate(mem, keys, val)
+}
+
+// Count walks the map directly (validation only).
+func (h *HashMap) Count(mem *sim.Memory) int { return h.tbl.Count(mem) }
+
+// TreeMap is java.util.TreeMap: a synchronized red-black tree.
+type TreeMap struct {
+	vm   *jvm.JVM
+	mon  *jvm.Monitor
+	tree *rbtree.Tree
+}
+
+// NewTreeMap builds a TreeMap with the given node capacity.
+func NewTreeMap(m *sim.Machine, vm *jvm.JVM, capacity int) *TreeMap {
+	return &TreeMap{vm: vm, mon: vm.NewMonitor(m), tree: rbtree.New(m, capacity)}
+}
+
+// Put maps key→val, reporting whether the key was absent.
+func (t *TreeMap) Put(s *sim.Strand, key uint64, val sim.Word) bool {
+	node := t.tree.AllocNode(s, key, val)
+	inserted := false
+	t.vm.Synchronized(s, t.mon, func(c core.Ctx) {
+		inserted = t.tree.InsertNode(c, key, node)
+	})
+	if !inserted {
+		t.tree.FreeNode(s, node)
+	}
+	return inserted
+}
+
+// Get looks key up.
+func (t *TreeMap) Get(s *sim.Strand, key uint64) (sim.Word, bool) {
+	var v sim.Word
+	var ok bool
+	t.vm.Synchronized(s, t.mon, func(c core.Ctx) {
+		v, ok = t.tree.Lookup(c, key)
+	})
+	return v, ok
+}
+
+// Remove deletes key, reporting whether it was present.
+func (t *TreeMap) Remove(s *sim.Strand, key uint64) bool {
+	var removed sim.Addr
+	t.vm.Synchronized(s, t.mon, func(c core.Ctx) {
+		removed = t.tree.DeleteNode(c, key)
+	})
+	if removed != 0 {
+		t.tree.FreeNode(s, removed)
+		return true
+	}
+	return false
+}
+
+// Prepopulate fills the tree directly (setup only).
+func (t *TreeMap) Prepopulate(mem *sim.Memory, keys []uint64, val sim.Word) {
+	t.tree.Prepopulate(mem, keys, val)
+}
+
+// Check validates the red-black invariants, returning the node count.
+func (t *TreeMap) Check(mem *sim.Memory) int { return t.tree.CheckInvariants(mem) }

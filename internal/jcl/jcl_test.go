@@ -1,0 +1,145 @@
+package jcl
+
+import (
+	"testing"
+
+	"rocktm/internal/cps"
+	"rocktm/internal/jvm"
+	"rocktm/internal/sim"
+	"rocktm/internal/tle"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 21
+	cfg.MaxCycles = 1 << 44
+	return sim.New(cfg)
+}
+
+func TestHashtableAgainstModel(t *testing.T) {
+	m := newMachine(2)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	ht := NewHashtable(m, vm, 1<<10, 1<<11)
+	model := map[uint64]bool{}
+	m.Run(func(s *sim.Strand) {
+		if s.ID() != 0 {
+			return // single-threaded vs model; thread 1 idle
+		}
+		for i := 0; i < 1200; i++ {
+			key := uint64(s.RandIntn(200))
+			switch s.RandIntn(3) {
+			case 0:
+				if ht.Put(s, key, 7) == model[key] {
+					t.Errorf("put(%d) disagreed with model", key)
+					return
+				}
+				model[key] = true
+			case 1:
+				if ht.Remove(s, key) != model[key] {
+					t.Errorf("remove(%d) disagreed with model", key)
+					return
+				}
+				delete(model, key)
+			default:
+				if _, ok := ht.Get(s, key); ok != model[key] {
+					t.Errorf("get(%d) disagreed with model", key)
+					return
+				}
+			}
+		}
+	})
+	if got := ht.Count(m.Mem()); got != len(model) {
+		t.Fatalf("count = %d, model %d", got, len(model))
+	}
+}
+
+// TestDivideHashKillsElision: with the divide left in the hash, every
+// elided transaction aborts with FP and all work falls to the monitor.
+func TestDivideHashKillsElision(t *testing.T) {
+	m := newMachine(1)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	ht := NewHashtable(m, vm, 1<<10, 256)
+	ht.DivideHash = true
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < 50; i++ {
+			ht.Put(s, uint64(i), 1)
+		}
+	})
+	st := vm.Stats()
+	if st.HWCommits != 0 {
+		t.Errorf("hardware commits with a divide in the transaction: %d", st.HWCommits)
+	}
+	if st.LockAcquires != st.Ops {
+		t.Errorf("expected all %d ops to take the monitor, got %d", st.Ops, st.LockAcquires)
+	}
+	if n := st.CPSHist.BitCount(cps.FP); n == 0 {
+		t.Error("no FP failures recorded")
+	}
+}
+
+// TestOutlinedPutKillsElision reproduces the HashMap anecdote: once the
+// JIT outlines put, its save/restore aborts every elided transaction with
+// INST.
+func TestOutlinedPutKillsElision(t *testing.T) {
+	m := newMachine(1)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	hm := NewHashMap(m, vm, 1<<10, 512)
+	hm.PutSite.OutlineAfter = 100
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < 300; i++ {
+			hm.Put(s, uint64(i), 1)
+		}
+	})
+	st := vm.Stats()
+	if !hm.PutSite.Outlined() {
+		t.Fatal("JIT never outlined put")
+	}
+	if n := st.CPSHist.BitCount(cps.INST); n == 0 {
+		t.Error("no INST failures after outlining")
+	}
+	if st.LockAcquires < 150 {
+		t.Errorf("outlined puts should fall to the monitor; lock acquires = %d", st.LockAcquires)
+	}
+	if got := hm.Count(m.Mem()); got != 300 {
+		t.Fatalf("map holds %d keys, want 300", got)
+	}
+}
+
+func TestTreeMapInvariantsUnderConcurrency(t *testing.T) {
+	const threads = 4
+	m := newMachine(threads)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	tm := NewTreeMap(m, vm, 1<<12)
+	m.Run(func(s *sim.Strand) {
+		base := uint64(s.ID()) * 1000
+		for i := uint64(0); i < 100; i++ {
+			tm.Put(s, base+i, sim.Word(i))
+		}
+		for i := uint64(0); i < 100; i += 2 {
+			tm.Remove(s, base+i)
+		}
+	})
+	if n := tm.Check(m.Mem()); n != threads*50 {
+		t.Fatalf("tree holds %d nodes, want %d", n, threads*50)
+	}
+}
+
+// TestElisionDisabledStillCorrect runs with TLE emitted but disabled.
+func TestElisionDisabledStillCorrect(t *testing.T) {
+	m := newMachine(2)
+	vm := jvm.New(m, tle.DefaultPolicy())
+	vm.Elide = false
+	ht := NewHashtable(m, vm, 1<<10, 1024)
+	m.Run(func(s *sim.Strand) {
+		base := uint64(s.ID()) * 500
+		for i := uint64(0); i < 200; i++ {
+			ht.Put(s, base+i, 1)
+		}
+	})
+	if got := ht.Count(m.Mem()); got != 400 {
+		t.Fatalf("count = %d, want 400", got)
+	}
+	if vm.Stats().HWCommits != 0 {
+		t.Error("hardware commits with elision disabled")
+	}
+}

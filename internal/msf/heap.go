@@ -1,0 +1,115 @@
+package msf
+
+import (
+	"rocktm/internal/alloc"
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// The per-thread edge heaps are top-down skew heaps in simulated memory,
+// written against core.Ctx so the same code runs transactionally (the
+// original algorithm extracts the minimum inside its main transaction) or
+// privately (the optimized variant extracts after the transaction commits;
+// edge additions and heap merges are always non-transactional). A skew
+// heap's extract-min touches one root-to-leaf path — amortized O(log n)
+// loads, stores and data-dependent branches — which is exactly the profile
+// the paper describes: big enough to confound branch prediction and
+// occasionally overflow hardware resources, small enough that a bounded
+// store queue usually accommodates it.
+//
+// Heap node layout (4 words):
+const (
+	hWeight       = 0
+	hEdge         = 1 // packed u<<32 | v
+	hLeft         = 2
+	hRight        = 3
+	heapNodeWords = 4
+)
+
+var (
+	pcHeapMeld = core.PC("msf.heap.meld")
+	pcHeapDone = core.PC("msf.heap.done")
+)
+
+// newHeapPool allocates the node pool.
+func newHeapPool(m *sim.Machine, capacity int) *alloc.Pool {
+	return alloc.NewPool(m, heapNodeWords, capacity)
+}
+
+// packEdge packs an edge's endpoints into one word.
+func packEdge(u, v uint32) sim.Word { return sim.Word(u)<<32 | sim.Word(v) }
+
+// unpackEdge reverses packEdge.
+func unpackEdge(w sim.Word) (u, v uint32) { return uint32(w >> 32), uint32(w) }
+
+// heapMeld merges two skew heaps, returning the new root. Either argument
+// may be 0. The classic top-down merge: walk the smaller root, swap its
+// children, continue down what was its right spine.
+func heapMeld(c core.Ctx, a, b sim.Word) sim.Word {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	wa := c.Load(sim.Addr(a) + hWeight)
+	wb := c.Load(sim.Addr(b) + hWeight)
+	swap := wa > wb
+	c.Branch(pcHeapMeld, swap, true)
+	if swap {
+		a, b = b, a
+	}
+	root := a
+	for {
+		r := c.Load(sim.Addr(a) + hRight)
+		l := c.Load(sim.Addr(a) + hLeft)
+		c.Store(sim.Addr(a)+hRight, l)
+		if r == 0 {
+			c.Branch(pcHeapDone, true, true)
+			c.Store(sim.Addr(a)+hLeft, b)
+			return root
+		}
+		c.Branch(pcHeapDone, false, true)
+		wr := c.Load(sim.Addr(r) + hWeight)
+		wb := c.Load(sim.Addr(b) + hWeight)
+		swap := wr > wb
+		c.Branch(pcHeapMeld, swap, true)
+		if swap {
+			r, b = b, r
+		}
+		c.Store(sim.Addr(a)+hLeft, r)
+		a = r
+	}
+}
+
+// heapInsert adds a node (weight/edge fields already initialized) to the
+// heap rooted at root, returning the new root.
+func heapInsert(c core.Ctx, root, node sim.Word) sim.Word {
+	c.Store(sim.Addr(node)+hLeft, 0)
+	c.Store(sim.Addr(node)+hRight, 0)
+	return heapMeld(c, root, node)
+}
+
+// heapMin peeks the minimum, returning (weight, packedEdge). The root must
+// be nonzero.
+func heapMin(c core.Ctx, root sim.Word) (sim.Word, sim.Word) {
+	return c.Load(sim.Addr(root) + hWeight), c.Load(sim.Addr(root) + hEdge)
+}
+
+// heapExtractMin removes the minimum node, returning (node, newRoot). The
+// detached node's storage belongs to the caller.
+func heapExtractMin(c core.Ctx, root sim.Word) (sim.Word, sim.Word) {
+	l := c.Load(sim.Addr(root) + hLeft)
+	r := c.Load(sim.Addr(root) + hRight)
+	return root, heapMeld(c, l, r)
+}
+
+// heapCountDirect counts nodes with no cycle accounting (test helper).
+func heapCountDirect(mem *sim.Memory, root sim.Word) int {
+	if root == 0 {
+		return 0
+	}
+	return 1 +
+		heapCountDirect(mem, mem.Peek(sim.Addr(root)+hLeft)) +
+		heapCountDirect(mem, mem.Peek(sim.Addr(root)+hRight))
+}

@@ -1,0 +1,767 @@
+// Package msf implements the parallel Minimum Spanning Forest algorithm of
+// Kang and Bader (PPoPP 2009) that Section 8 of the paper accelerates with
+// Rock's HTM. Each thread grows a minimum spanning tree with Prim's
+// algorithm from its own start vertex, keeping the tree's frontier — every
+// edge connecting the tree to the rest of the graph — in a pairing heap.
+// When two threads' trees meet, trees and heaps are merged: if the loser's
+// heap is available in the public space it is stolen outright (Case 3),
+// otherwise the winner's heap is handed to the loser's owner through a
+// public queue (Case 4). Transactions are used exactly where the paper
+// uses them — vertex conflict resolution and public-space manipulation —
+// while edge insertion and heap melding stay non-transactional on heaps
+// that are provably private.
+//
+// Two variants are provided, as in the paper: the original (Orig) extracts
+// the minimum edge inside the main transaction, which makes the
+// transaction traverse heap internals and rarely commit in hardware; the
+// optimized (Opt) merely *examines* the minimum inside the transaction and
+// extracts it non-transactionally whenever the decision removes the heap
+// from the public space anyway (Cases 1 and 3).
+package msf
+
+import (
+	"fmt"
+
+	"rocktm/internal/alloc"
+	"rocktm/internal/core"
+	"rocktm/internal/graphgen"
+	"rocktm/internal/sim"
+)
+
+// Variant selects the original or optimized main transaction.
+type Variant int
+
+// The two benchmark variants.
+const (
+	Orig Variant = iota
+	Opt
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == Opt {
+		return "opt"
+	}
+	return "orig"
+}
+
+// Branch sites.
+var (
+	pcFind    = core.PC("msf.find")
+	pcCase    = core.PC("msf.case")
+	pcArcSkip = core.PC("msf.arc.skip")
+)
+
+// decision encodes the outcome of one main transaction.
+type decision int
+
+const (
+	dNone     decision = iota
+	dStolen            // my heap was stolen; reset and start over
+	dEmpty             // heap empty; tree complete
+	dClaim             // Case 1: v was free and is now mine
+	dInternal          // Case 2: v already in my tree; edge discarded
+	dSteal             // Case 3: stole the other thread's heap
+	dHandoff           // Case 4: my heap went to the other thread's queue
+	dMergeOwn          // v's tree was already my responsibility; merged in place
+	dBusy              // other thread's heap unavailable; retry hoping to steal
+)
+
+// Handoff record layout (one cache line).
+const (
+	rHeap    = 0
+	rTree    = 1
+	rW       = 2
+	rEdge    = 3
+	rNext    = 4
+	recWords = sim.WordsPerLine
+)
+
+// workItem is a privately held (heap, tree, connecting edge) bundle popped
+// from the pending queue.
+type workItem struct {
+	heap sim.Word
+	tree sim.Word
+	w    sim.Word
+	edge sim.Word
+	// root caches find(tree). Queued trees are merged only by their
+	// responsible thread (stealing checks heapTree, which never names a
+	// queued tree), so this thread alone changes the answer and can keep
+	// the cache exact without re-walking the union-find structure.
+	root sim.Word
+}
+
+// Result summarizes one MSF run.
+type Result struct {
+	TotalWeight uint64
+	Edges       int
+	Trees       int // forest components claimed as fresh starts
+}
+
+// Runner owns all shared state of one MSF execution.
+type Runner struct {
+	g       *graphgen.Graph
+	sys     core.System
+	variant Variant
+	threads int
+
+	owner     sim.Addr // per vertex: owning tree id (0 = unclaimed)
+	ufParent  sim.Addr // union-find over tree ids (1-based)
+	treeOwner sim.Addr // tree id -> responsible thread
+
+	flag     []sim.Addr // per thread: heap is in the public space
+	heapRoot []sim.Addr // per thread: heap root pointer
+	heapTree []sim.Addr // per thread: tree id the heap belongs to
+	pending  []sim.Addr // per thread: handoff queue head
+	idle     []sim.Addr // per thread: idle flag (termination)
+	done     sim.Addr
+	startCur sim.Addr
+	tidCur   sim.Addr
+
+	heapPool *alloc.Pool
+	recPool  *alloc.Pool
+
+	work        [][]workItem // per-thread private lists of adopted-but-pending heaps
+	startStride int          // coprime stride spreading fresh start vertices
+	weight      []uint64
+	edges       []int
+	starts      []int
+}
+
+// NewRunner lays out the algorithm's state on machine m for the given
+// graph, system and variant.
+func NewRunner(m *sim.Machine, g *graphgen.Graph, sys core.System, variant Variant) *Runner {
+	mem := m.Mem()
+	threads := m.Config().Strands
+	r := &Runner{
+		g:         g,
+		sys:       sys,
+		variant:   variant,
+		threads:   threads,
+		owner:     mem.AllocLines(g.N),
+		ufParent:  mem.AllocLines(g.N + threads + 2),
+		treeOwner: mem.AllocLines(g.N + threads + 2),
+		done:      mem.AllocLines(sim.WordsPerLine),
+		startCur:  mem.AllocLines(sim.WordsPerLine),
+		tidCur:    mem.AllocLines(sim.WordsPerLine),
+		heapPool:  newHeapPool(m, 2*g.M+2*g.N+threads*8+64),
+		recPool:   alloc.NewPool(m, recWords, g.N+4*threads+64),
+		work:      make([][]workItem, threads),
+		weight:    make([]uint64, threads),
+		edges:     make([]int, threads),
+		starts:    make([]int, threads),
+	}
+	mem.Poke(r.tidCur, 1) // tree ids start at 1; 0 means unclaimed
+	r.startStride = 1
+	if g.N > 3 {
+		r.startStride = int(float64(g.N) * 0.6180339887)
+		for gcd(r.startStride, g.N) != 1 {
+			r.startStride++
+		}
+	}
+	for t := 0; t < threads; t++ {
+		r.flag = append(r.flag, mem.AllocLines(sim.WordsPerLine))
+		r.heapRoot = append(r.heapRoot, mem.AllocLines(sim.WordsPerLine))
+		r.heapTree = append(r.heapTree, mem.AllocLines(sim.WordsPerLine))
+		r.pending = append(r.pending, mem.AllocLines(sim.WordsPerLine))
+		r.idle = append(r.idle, mem.AllocLines(sim.WordsPerLine))
+	}
+	return r
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// find chases union-find parents to the root (no compression inside
+// transactions; the non-transactional paths compress afterwards).
+func (r *Runner) find(c core.Ctx, tid sim.Word) sim.Word {
+	for {
+		p := c.Load(r.ufParent + sim.Addr(tid))
+		done := p == tid
+		c.Branch(pcFind, done, true)
+		if done {
+			return tid
+		}
+		tid = p
+	}
+}
+
+// compress path-halves from tid toward the root outside any transaction;
+// racy plain stores are safe because every written value is an ancestor.
+func (r *Runner) compress(s *sim.Strand, tid sim.Word) {
+	for {
+		p := s.Load(r.ufParent + sim.Addr(tid))
+		if p == tid {
+			return
+		}
+		gp := s.Load(r.ufParent + sim.Addr(p))
+		if gp == p {
+			return
+		}
+		s.Store(r.ufParent+sim.Addr(tid), gp)
+		tid = gp
+	}
+}
+
+// addArcs inserts all of v's arcs into the (private) heap rooted at root,
+// skipping arcs that obviously lead back into tree rMine, and returns the
+// new root.
+func (r *Runner) addArcs(s *sim.Strand, root sim.Word, v uint32, rMine sim.Word) sim.Word {
+	raw := core.Raw{S: s}
+	lo, hi := r.g.Arcs(raw, v)
+	for i := lo; i < hi; i++ {
+		dst, w := r.g.Arc(raw, i)
+		ownDst := s.Load(r.owner + sim.Addr(dst))
+		skip := ownDst == rMine && rMine != 0
+		s.Branch(pcArcSkip, skip)
+		if skip {
+			continue
+		}
+		n := r.heapPool.Get(s)
+		s.Store(n+hWeight, w)
+		s.Store(n+hEdge, packEdge(v, dst))
+		root = heapInsert(raw, root, sim.Word(n))
+	}
+	return root
+}
+
+// worker is the per-thread main loop.
+func (r *Runner) worker(s *sim.Strand) {
+	me := s.ID()
+	for {
+		r.drain(s)
+		if s.Load(r.flag[me]) == 0 || s.Load(r.heapRoot[me]) == 0 {
+			// No live public heap: adopt queued work, or claim a fresh
+			// start vertex, or go idle.
+			if n := len(r.work[me]); n > 0 {
+				item := r.work[me][n-1]
+				r.work[me] = r.work[me][:n-1]
+				r.adopt(s, item)
+				continue
+			}
+			if r.startTree(s) {
+				continue
+			}
+			if r.idleWait(s) {
+				return
+			}
+			continue
+		}
+		r.mainStep(s)
+	}
+}
+
+// drain pops every pending handoff record into the private work list. The
+// pop must run under the same synchronization system as the push (which
+// happens inside the Case 4 transaction): a plain CAS pop can interleave
+// with a software transaction's buffered push and resurrect a record that
+// was already popped and recycled.
+func (r *Runner) drain(s *sim.Strand) {
+	me := s.ID()
+	for {
+		if s.Load(r.pending[me]) == 0 {
+			return
+		}
+		var head sim.Word
+		var item workItem
+		r.sys.Atomic(s, func(c core.Ctx) {
+			head = c.Load(r.pending[me])
+			if head == 0 {
+				return
+			}
+			c.Store(r.pending[me], c.Load(sim.Addr(head)+rNext))
+			item = workItem{
+				heap: c.Load(sim.Addr(head) + rHeap),
+				tree: c.Load(sim.Addr(head) + rTree),
+				w:    c.Load(sim.Addr(head) + rW),
+				edge: c.Load(sim.Addr(head) + rEdge),
+			}
+		})
+		if head == 0 {
+			return
+		}
+		item.root = r.find(core.Raw{S: s}, item.tree)
+		r.compress(s, item.tree)
+		r.work[me] = append(r.work[me], item)
+		r.recPool.Put(s, sim.Addr(head))
+	}
+}
+
+// startPerm maps the shared start cursor to a spread-out vertex sequence
+// (a bijection on [0, N) via a stride coprime with N).
+func (r *Runner) startPerm(idx sim.Word) sim.Word {
+	return (idx * sim.Word(r.startStride)) % sim.Word(r.g.N)
+}
+
+// startTree claims an unowned vertex as a fresh tree and builds its
+// initial heap. It returns false once the vertex cursor is exhausted.
+func (r *Runner) startTree(s *sim.Strand) bool {
+	me := s.ID()
+	for {
+		idx := s.Add(r.startCur, 1) - 1
+		if idx >= sim.Word(r.g.N) {
+			return false
+		}
+		// Spread consecutive start claims across the graph (threads that
+		// start on adjacent vertices collide immediately and spend the run
+		// merging instead of growing).
+		v := r.startPerm(idx)
+		if s.Load(r.owner+sim.Addr(v)) != 0 {
+			continue
+		}
+		tid := s.Add(r.tidCur, 1) - 1
+		claimed := false
+		r.sys.Atomic(s, func(c core.Ctx) {
+			claimed = false
+			if c.Load(r.owner+sim.Addr(v)) != 0 {
+				return
+			}
+			c.Store(r.owner+sim.Addr(v), tid)
+			c.Store(r.ufParent+sim.Addr(tid), tid)
+			c.Store(r.treeOwner+sim.Addr(tid), sim.Word(me))
+			claimed = true
+		})
+		if !claimed {
+			continue
+		}
+		r.starts[me]++
+		root := r.addArcs(s, 0, uint32(v), tid)
+		if root == 0 {
+			continue // isolated vertex: a complete single-node tree
+		}
+		// Publication must be atomic under the same system as the readers:
+		// a plain store could interleave with a lock-held (or software-
+		// transactional) Case 3 check and let a thief pair the new heap
+		// with the old tree identity.
+		r.sys.Atomic(s, func(c core.Ctx) {
+			c.Store(r.heapRoot[me], root)
+			c.Store(r.heapTree[me], tid)
+			c.Store(r.flag[me], 1)
+		})
+		return true
+	}
+}
+
+// adopt installs a handed-off (heap, tree) as this thread's current tree.
+// The connecting edge that rode along is simply re-inserted into the heap:
+// re-inserting an extracted minimum is always safe (it will surface again
+// when it is minimal, and the usual case analysis will resolve it), and it
+// preserves the invariant that a tree's single heap contains every edge
+// crossing out of it. The install transaction keeps the heap private until
+// the edge is back inside, so the invariant never has a visible gap.
+func (r *Runner) adopt(s *sim.Strand, item workItem) {
+	me := s.ID()
+	r.sys.Atomic(s, func(c core.Ctx) {
+		rg := r.find(c, item.tree)
+		c.Store(r.heapTree[me], rg)
+		c.Store(r.treeOwner+sim.Addr(rg), sim.Word(me))
+		c.Store(r.heapRoot[me], item.heap)
+	})
+	r.compress(s, item.tree)
+	r.reinsertEdge(s, item.w, item.edge)
+	r.publish(s)
+}
+
+// publish atomically returns this thread's heap to the public space after a
+// private phase.
+func (r *Runner) publish(s *sim.Strand) {
+	me := s.ID()
+	r.sys.Atomic(s, func(c core.Ctx) {
+		c.Store(r.flag[me], 1)
+	})
+}
+
+// reinsertEdge pushes an in-flight connecting edge back into this thread's
+// (private) heap.
+func (r *Runner) reinsertEdge(s *sim.Strand, w, edge sim.Word) {
+	me := s.ID()
+	raw := core.Raw{S: s}
+	n := r.heapPool.Get(s)
+	s.Store(n+hWeight, w)
+	s.Store(n+hEdge, edge)
+	root := heapInsert(raw, s.Load(r.heapRoot[me]), sim.Word(n))
+	s.Store(r.heapRoot[me], root)
+}
+
+// mainStep runs one iteration of the paper's main transaction: take (or
+// examine) the heap minimum and resolve the vertex it leads to. When the
+// edge leads into a tree whose heap is momentarily out of the public space
+// (its owner is in a private phase), the step waits briefly for it to
+// reappear — stealing (Case 3) keeps the merged tree's frontier with the
+// requester, while handing off (Case 4) funnels every collision into one
+// victim's queue — and only falls back to the handoff after a few rounds.
+func (r *Runner) mainStep(s *sim.Strand) {
+	for busy := 0; ; busy++ {
+		var dec decision
+		if r.variant == Orig {
+			dec = r.stepExtractInside(s, busy >= busyPatience)
+		} else {
+			dec = r.stepPeek(s, busy >= busyPatience)
+		}
+		if dec != dBusy {
+			return
+		}
+		core.Backoff(s, busy)
+	}
+}
+
+// busyPatience is how many rounds a step waits for a busy heap before
+// giving up and handing its own heap off.
+const busyPatience = 6
+
+// postResolve performs the non-transactional tail of a resolution.
+// alreadyExtracted says the consumed edge is already out of the heap (the
+// Orig variant extracts inside its transaction).
+func (r *Runner) postResolve(s *sim.Strand, dec decision, w sim.Word, v uint32,
+	rMine, rv, stolen, stolenTid sim.Word, alreadyExtracted bool) {
+	me := s.ID()
+	raw := core.Raw{S: s}
+	switch dec {
+	case dClaim:
+		// Heap is private now: extract the consumed edge if still in the
+		// heap, add v's arcs, account the edge, republish.
+		if !alreadyExtracted {
+			r.extractPrivate(s)
+		}
+		root := s.Load(r.heapRoot[me])
+		root = r.addArcs(s, root, v, rMine)
+		s.Store(r.heapRoot[me], root)
+		r.weight[me] += uint64(w)
+		r.edges[me]++
+		r.publish(s)
+	case dInternal:
+		// Edge discarded; it left the heap transactionally (Opt Case 2) or
+		// in the Orig extraction, so nothing remains here.
+	case dSteal:
+		if !alreadyExtracted {
+			r.extractPrivate(s)
+		}
+		root := heapMeld(raw, s.Load(r.heapRoot[me]), stolen)
+		s.Store(r.heapRoot[me], root)
+		r.weight[me] += uint64(w)
+		r.edges[me]++
+		r.compress(s, stolenTid)
+		r.publish(s)
+	case dMergeOwn:
+		if !alreadyExtracted {
+			r.extractPrivate(s)
+		}
+		r.weight[me] += uint64(w)
+		r.edges[me]++
+		r.compress(s, rv)
+		// The merged tree may have a heap sitting in my pending queue or
+		// private work list; its frontier must rejoin this tree's single
+		// heap before anything else is extracted, or the cut property
+		// breaks.
+		r.drain(s)
+		r.absorbMerged(s, rv, rMine)
+		r.publish(s)
+	case dHandoff, dStolen, dEmpty:
+		// Nothing: the heap is gone (handoff), was taken (stolen), or no
+		// private work remains.
+	}
+}
+
+// absorbMerged melds every queued work item whose tree was just united
+// with the current tree (cached root == rv) into the current (private)
+// heap, re-inserting the items' in-flight connecting edges. The selection
+// uses the cached roots — no union-find walks — because only this thread
+// ever merges its queued trees.
+func (r *Runner) absorbMerged(s *sim.Strand, rv, rMine sim.Word) {
+	me := s.ID()
+	raw := core.Raw{S: s}
+	kept := r.work[me][:0]
+	for _, item := range r.work[me] {
+		if item.root != rv && item.root != rMine {
+			kept = append(kept, item)
+			continue
+		}
+		root := heapMeld(raw, s.Load(r.heapRoot[me]), item.heap)
+		s.Store(r.heapRoot[me], root)
+		r.reinsertEdge(s, item.w, item.edge)
+	}
+	r.work[me] = kept
+}
+
+// extractPrivate removes the minimum from the (private) heap and returns
+// the node to the pool.
+func (r *Runner) extractPrivate(s *sim.Strand) {
+	me := s.ID()
+	raw := core.Raw{S: s}
+	root := s.Load(r.heapRoot[me])
+	if root == 0 {
+		return
+	}
+	node, newRoot := heapExtractMin(raw, root)
+	s.Store(r.heapRoot[me], newRoot)
+	r.heapPool.Put(s, sim.Addr(node))
+}
+
+// stepExtractInside is the Orig variant: one transaction that extracts the
+// minimum and resolves it. The heap traversal inside the transaction is
+// what makes this "too big" for best-effort HTM (Section 8).
+// (The Orig variant has already extracted the minimum by the time the case
+// is known, so it cannot wait out a busy peer; it always hands off.)
+func (r *Runner) stepExtractInside(s *sim.Strand, _ bool) decision {
+	me := s.ID()
+	rec := r.recPool.Get(s)
+	var (
+		dec       decision
+		w         sim.Word
+		v         uint32
+		ov        sim.Word
+		rMine, rv sim.Word
+		stolen    sim.Word
+		stolenTid sim.Word
+		node      sim.Word
+	)
+	r.sys.Atomic(s, func(c core.Ctx) {
+		dec, node, stolen, stolenTid, rv, ov = dNone, 0, 0, 0, 0, 0
+		if c.Load(r.flag[me]) == 0 {
+			dec = dStolen
+			return
+		}
+		root := c.Load(r.heapRoot[me])
+		if root == 0 {
+			dec = dEmpty
+			return
+		}
+		rMine = r.find(c, c.Load(r.heapTree[me]))
+		var newRoot sim.Word
+		node, newRoot = heapExtractMin(c, root)
+		c.Store(r.heapRoot[me], newRoot)
+		w = c.Load(sim.Addr(node) + hWeight)
+		uv := c.Load(sim.Addr(node) + hEdge)
+		_, v = unpackEdge(uv)
+		ov = c.Load(r.owner + sim.Addr(v))
+		if ov == 0 {
+			c.Store(r.owner+sim.Addr(v), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dClaim
+			return
+		}
+		rv = r.find(c, ov)
+		same := rv == rMine
+		c.Branch(pcCase, same, true)
+		if same {
+			dec = dInternal
+			return
+		}
+		tOwn := c.Load(r.treeOwner + sim.Addr(rv))
+		if tOwn == sim.Word(me) {
+			c.Store(r.ufParent+sim.Addr(rv), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dMergeOwn
+			return
+		}
+		if c.Load(r.flag[tOwn]) == 1 && c.Load(r.heapTree[tOwn]) == rv {
+			stolen = c.Load(r.heapRoot[tOwn])
+			stolenTid = rv
+			c.Store(r.flag[tOwn], 0)
+			c.Store(r.ufParent+sim.Addr(rv), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dSteal
+			return
+		}
+		c.Store(sim.Addr(rec)+rHeap, c.Load(r.heapRoot[me]))
+		c.Store(sim.Addr(rec)+rTree, rMine)
+		c.Store(sim.Addr(rec)+rW, w)
+		c.Store(sim.Addr(rec)+rEdge, uv)
+		c.Store(sim.Addr(rec)+rNext, c.Load(r.pending[tOwn]))
+		c.Store(r.pending[tOwn], sim.Word(rec))
+		c.Store(r.treeOwner+sim.Addr(rMine), tOwn)
+		c.Store(r.flag[me], 0)
+		c.Store(r.heapRoot[me], 0)
+		c.Store(r.heapTree[me], 0)
+		dec = dHandoff
+	})
+	if dec != dHandoff {
+		r.recPool.Put(s, rec)
+	}
+	if node != 0 && dec != dStolen && dec != dEmpty {
+		r.heapPool.Put(s, sim.Addr(node))
+	}
+	if dec == dBusy {
+		return dec
+	}
+	r.flattenOwner(s, dec, v, ov, rv, rMine)
+	r.postResolve(s, dec, w, v, rMine, rv, stolen, stolenTid, true)
+	return dec
+}
+
+// stepPeek is the Opt variant: examine the minimum inside the transaction
+// and extract it transactionally only in the cases that keep the heap
+// public (Cases 2 and 4); Cases 1 and 3 extract after commit, privately.
+func (r *Runner) stepPeek(s *sim.Strand, forceHandoff bool) decision {
+	me := s.ID()
+	rec := r.recPool.Get(s)
+	var (
+		dec       decision
+		w         sim.Word
+		v         uint32
+		ov        sim.Word
+		rMine, rv sim.Word
+		stolen    sim.Word
+		stolenTid sim.Word
+		node      sim.Word
+	)
+	r.sys.Atomic(s, func(c core.Ctx) {
+		dec, node, stolen, stolenTid, rv, ov = dNone, 0, 0, 0, 0, 0
+		if c.Load(r.flag[me]) == 0 {
+			dec = dStolen
+			return
+		}
+		root := c.Load(r.heapRoot[me])
+		if root == 0 {
+			dec = dEmpty
+			return
+		}
+		rMine = r.find(c, c.Load(r.heapTree[me]))
+		var uv sim.Word
+		w, uv = heapMin(c, root)
+		_, v = unpackEdge(uv)
+		ov = c.Load(r.owner + sim.Addr(v))
+		if ov == 0 {
+			c.Store(r.owner+sim.Addr(v), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dClaim // extraction deferred: heap just went private
+			return
+		}
+		rv = r.find(c, ov)
+		same := rv == rMine
+		c.Branch(pcCase, same, true)
+		if same {
+			// Case 2: extract transactionally (heap stays public).
+			var newRoot sim.Word
+			node, newRoot = heapExtractMin(c, root)
+			c.Store(r.heapRoot[me], newRoot)
+			dec = dInternal
+			return
+		}
+		tOwn := c.Load(r.treeOwner + sim.Addr(rv))
+		if tOwn == sim.Word(me) {
+			c.Store(r.ufParent+sim.Addr(rv), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dMergeOwn // extraction deferred
+			return
+		}
+		if c.Load(r.flag[tOwn]) == 1 && c.Load(r.heapTree[tOwn]) == rv {
+			stolen = c.Load(r.heapRoot[tOwn])
+			stolenTid = rv
+			c.Store(r.flag[tOwn], 0)
+			c.Store(r.ufParent+sim.Addr(rv), rMine)
+			c.Store(r.flag[me], 0)
+			dec = dSteal // extraction deferred
+			return
+		}
+		// Case 4: extract transactionally, then hand off the remainder.
+		if !forceHandoff {
+			dec = dBusy
+			return
+		}
+		var newRoot sim.Word
+		node, newRoot = heapExtractMin(c, root)
+		c.Store(sim.Addr(rec)+rHeap, newRoot)
+		c.Store(sim.Addr(rec)+rTree, rMine)
+		c.Store(sim.Addr(rec)+rW, w)
+		c.Store(sim.Addr(rec)+rEdge, uv)
+		c.Store(sim.Addr(rec)+rNext, c.Load(r.pending[tOwn]))
+		c.Store(r.pending[tOwn], sim.Word(rec))
+		c.Store(r.treeOwner+sim.Addr(rMine), tOwn)
+		c.Store(r.flag[me], 0)
+		c.Store(r.heapRoot[me], 0)
+		c.Store(r.heapTree[me], 0)
+		dec = dHandoff
+	})
+	if dec != dHandoff {
+		r.recPool.Put(s, rec)
+	}
+	if node != 0 {
+		r.heapPool.Put(s, sim.Addr(node))
+	}
+	if dec == dBusy {
+		return dec
+	}
+	r.flattenOwner(s, dec, v, ov, rv, rMine)
+	r.postResolve(s, dec, w, v, rMine, rv, stolen, stolenTid, false)
+	return dec
+}
+
+// flattenOwner keeps union-find chains short after a resolution: it
+// path-halves from the tree id the vertex recorded at claim time, and
+// rewrites owner[v] to the (post-union) root. The plain stores race with
+// other threads' transactions only in the benign direction — any value
+// written is an ancestor of the true root, and a doomed reader simply
+// retries.
+func (r *Runner) flattenOwner(s *sim.Strand, dec decision, v uint32, ov, rv, rMine sim.Word) {
+	if ov == 0 || rv == 0 {
+		return
+	}
+	target := rv
+	if dec == dSteal || dec == dMergeOwn {
+		target = rMine
+	}
+	if ov != target {
+		s.Store(r.owner+sim.Addr(v), target)
+	}
+	r.compress(s, ov)
+}
+
+// idleWait parks the thread in the termination protocol: it returns true
+// when the whole computation is finished, or false when new work arrived
+// in the pending queue.
+func (r *Runner) idleWait(s *sim.Strand) bool {
+	me := s.ID()
+	s.Store(r.idle[me], 1)
+	for spin := 0; ; spin++ {
+		if s.Load(r.pending[me]) != 0 {
+			s.Store(r.idle[me], 0)
+			return false
+		}
+		if s.Load(r.done) != 0 {
+			return true
+		}
+		if me == 0 {
+			all := true
+			for t := 0; t < r.threads && all; t++ {
+				all = s.Load(r.idle[t]) != 0
+			}
+			for t := 0; t < r.threads && all; t++ {
+				all = s.Load(r.pending[t]) == 0
+			}
+			if all {
+				s.Store(r.done, 1)
+				return true
+			}
+		}
+		core.Backoff(s, min(spin, 10))
+	}
+}
+
+// Run executes the algorithm on machine m and returns the combined result.
+// The runner must have been built on the same machine.
+func (r *Runner) Run(m *sim.Machine) Result {
+	m.Run(r.worker)
+	res := Result{}
+	for t := 0; t < r.threads; t++ {
+		res.TotalWeight += r.weight[t]
+		res.Edges += r.edges[t]
+		res.Trees += r.starts[t]
+	}
+	return res
+}
+
+// Validate compares the run's result against sequential Kruskal on the
+// same edge list, returning an error on any mismatch.
+func (r *Runner) Validate(res Result) error {
+	wantW, wantE := graphgen.KruskalWeight(r.g.N, r.g.Edges())
+	if res.TotalWeight != wantW || res.Edges != wantE {
+		return fmt.Errorf("msf: got weight=%d edges=%d, Kruskal says weight=%d edges=%d",
+			res.TotalWeight, res.Edges, wantW, wantE)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package msf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/core"
+	"rocktm/internal/graphgen"
+	"rocktm/internal/locktm"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+	"rocktm/internal/tle"
+)
+
+func newMachine(strands, memWords int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = memWords
+	cfg.MaxCycles = 1 << 44
+	return sim.New(cfg)
+}
+
+// TestHeapSortsRandomInputs is the pairing-heap property test: inserting
+// random weights and extracting them all yields a sorted sequence.
+func TestHeapSortsRandomInputs(t *testing.T) {
+	prop := func(weights []uint16) bool {
+		m := newMachine(1, 1<<20)
+		pool := newHeapPool(m, len(weights)+1)
+		ok := true
+		m.Run(func(s *sim.Strand) {
+			raw := core.Raw{S: s}
+			var root sim.Word
+			for i, w := range weights {
+				n := pool.Get(s)
+				s.Store(n+hWeight, sim.Word(w))
+				s.Store(n+hEdge, packEdge(uint32(i), uint32(i)))
+				root = heapInsert(raw, root, sim.Word(n))
+			}
+			last := sim.Word(0)
+			for i := 0; i < len(weights); i++ {
+				if root == 0 {
+					ok = false
+					return
+				}
+				w, _ := heapMin(raw, root)
+				if w < last {
+					ok = false
+					return
+				}
+				last = w
+				var node sim.Word
+				node, root = heapExtractMin(raw, root)
+				pool.Put(s, sim.Addr(node))
+			}
+			if root != 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapMeldPreservesContents melds two heaps and drains them.
+func TestHeapMeldPreservesContents(t *testing.T) {
+	m := newMachine(1, 1<<20)
+	pool := newHeapPool(m, 256)
+	m.Run(func(s *sim.Strand) {
+		raw := core.Raw{S: s}
+		var a, b sim.Word
+		for i := 0; i < 50; i++ {
+			n := pool.Get(s)
+			s.Store(n+hWeight, sim.Word(s.RandIntn(1000)))
+			s.Store(n+hEdge, 0)
+			if i%2 == 0 {
+				a = heapInsert(raw, a, sim.Word(n))
+			} else {
+				b = heapInsert(raw, b, sim.Word(n))
+			}
+		}
+		root := heapMeld(raw, a, b)
+		if got := heapCountDirect(m.Mem(), root); got != 50 {
+			t.Errorf("melded heap has %d nodes, want 50", got)
+		}
+		last := sim.Word(0)
+		for i := 0; i < 50; i++ {
+			w, _ := heapMin(raw, root)
+			if w < last {
+				t.Fatalf("heap order violated: %d after %d", w, last)
+			}
+			last = w
+			_, root = heapExtractMin(raw, root)
+		}
+		if root != 0 {
+			t.Error("heap not empty after draining")
+		}
+	})
+}
+
+// msfSystems enumerates the synchronization systems MSF runs under in
+// tests.
+func msfSystems(m *sim.Machine) map[string]core.System {
+	return map[string]core.System{
+		"lock": locktm.NewOneLock(m),
+		"sky":  sky.New(m),
+		"le":   tle.New("le", tle.SpinAdapter{L: locktm.NewSpinLock(m.Mem())}, tle.DefaultPolicy()),
+	}
+}
+
+// TestMSFMatchesKruskal runs both variants under every system and several
+// thread counts on a small road grid and requires the exact Kruskal
+// weight.
+func TestMSFMatchesKruskal(t *testing.T) {
+	for _, variant := range []Variant{Orig, Opt} {
+		for _, threads := range []int{1, 2, 4} {
+			for _, sysName := range []string{"lock", "sky", "le"} {
+				name := variant.String() + "-" + sysName + "-t" + string(rune('0'+threads))
+				t.Run(name, func(t *testing.T) {
+					m := newMachine(threads, 1<<22)
+					g := graphgen.Roadmap(m, 24, 24, 0.05, 7)
+					sys := msfSystems(m)[sysName]
+					r := NewRunner(m, g, sys, variant)
+					res := r.Run(m)
+					if err := r.Validate(res); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMSFSeq is the sequential baseline: Orig variant, unprotected atomic
+// blocks, one thread.
+func TestMSFSeq(t *testing.T) {
+	m := newMachine(1, 1<<22)
+	g := graphgen.Roadmap(m, 30, 30, 0.1, 3)
+	r := NewRunner(m, g, locktm.NewSeq(), Orig)
+	res := r.Run(m)
+	if err := r.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != g.N-1 {
+		t.Fatalf("connected grid must give a spanning tree: %d edges for %d vertices", res.Edges, g.N)
+	}
+}
+
+// TestMSFQuickGraphs is a property test over random graph shapes.
+func TestMSFQuickGraphs(t *testing.T) {
+	prop := func(seed uint64, wsel, hsel uint8) bool {
+		w := 4 + int(wsel%12)
+		h := 4 + int(hsel%12)
+		m := newMachine(3, 1<<22)
+		g := graphgen.Roadmap(m, w, h, 0.1, seed)
+		r := NewRunner(m, g, msfSystems(m)["le"], Opt)
+		res := r.Run(m)
+		return r.Validate(res) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGraphgenDIMACSRoundTrip writes and re-reads a graph.
+func TestGraphgenDIMACSRoundTrip(t *testing.T) {
+	n, edges := graphgen.RoadmapEdges(8, 8, 0.2, 1000, 5)
+	wantW, wantE := graphgen.KruskalWeight(n, edges)
+	var buf bytes.Buffer
+	if err := graphgen.WriteDIMACS(&buf, n, edges); err != nil {
+		t.Fatal(err)
+	}
+	n2, edges2, err := graphgen.ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Fatalf("n = %d, want %d", n2, n)
+	}
+	gotW, gotE := graphgen.KruskalWeight(n2, edges2)
+	if gotW != wantW || gotE != wantE {
+		t.Fatalf("MSF after round trip = (%d,%d), want (%d,%d)", gotW, gotE, wantW, wantE)
+	}
+}

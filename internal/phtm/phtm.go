@@ -1,0 +1,141 @@
+// Package phtm implements Phased Transactional Memory (Lev, Moir, Nussbaum
+// — TRANSACT 2007): the system as a whole is either in a HARDWARE phase, in
+// which atomic blocks run as *uninstrumented* best-effort hardware
+// transactions (they only read the count of active software transactions,
+// so the fast path is nearly as cheap as raw HTM), or in a SOFTWARE phase,
+// in which blocks run on the STM back end. A block whose hardware attempts
+// keep failing flips the system into the software phase; after a number of
+// software commits the system drifts back to hardware.
+//
+// Because a hardware transaction's first act is to read the
+// software-transaction count, any software transaction beginning mid-flight
+// dooms it through plain coherence — phase changes need no fences or
+// handshakes.
+package phtm
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm"
+)
+
+// Config tunes the policy.
+type Config struct {
+	// MaxFailures is the failure score at which a block triggers the switch
+	// to the software phase. The paper's Section 6 analysis shows raising
+	// it lets retries warm the cache and commit transactions that a low
+	// budget would have sent to software.
+	MaxFailures float64
+	// UCTIWeight is the score of a UCTI-flagged failure.
+	UCTIWeight float64
+	// SWHold is how many software commits the software phase lasts before
+	// the system drifts back to the hardware phase.
+	SWHold sim.Word
+}
+
+// DefaultConfig returns the policy used in the experiments.
+func DefaultConfig() Config {
+	return Config{MaxFailures: 8, UCTIWeight: 0.5, SWHold: 16}
+}
+
+// System is a PhTM instance over an STM back end.
+type System struct {
+	name    string
+	back    stm.STM
+	cfg     Config
+	swMode  sim.Addr // software-phase countdown; 0 = hardware phase
+	swCount sim.Addr // active software transactions
+	stats   *core.Stats
+}
+
+// New builds a PhTM system over machine m and back end back.
+func New(m *sim.Machine, back stm.STM, cfg Config) *System {
+	return &System{
+		name:    "phtm",
+		back:    back,
+		cfg:     cfg,
+		swMode:  m.Mem().AllocLines(sim.WordsPerLine),
+		swCount: m.Mem().AllocLines(sim.WordsPerLine),
+		stats:   core.NewStats(),
+	}
+}
+
+// Name implements core.System.
+func (p *System) Name() string { return p.name }
+
+// SetName overrides the reported name ("phtm-tl2").
+func (p *System) SetName(n string) { p.name = n }
+
+// Stats implements core.System: a merged snapshot of hardware-path and
+// back-end counters.
+func (p *System) Stats() *core.Stats {
+	out := core.NewStats()
+	out.Merge(p.stats)
+	out.Merge(p.back.Stats())
+	return out
+}
+
+// Atomic implements core.System.
+func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
+	st := p.stats
+	if s.Load(p.swMode) == 0 {
+		st.HWBlocks++
+		failScore := 0.0
+		for attempt := 0; failScore < p.cfg.MaxFailures; attempt++ {
+			st.HWAttempts++
+			ok, c := rock.Try(s, func(tx *rock.Txn) {
+				if tx.Load(p.swCount) != 0 {
+					tx.Abort() // software stragglers still draining
+				}
+				body(rock.Ctx{T: tx})
+			})
+			if ok {
+				st.HWCommits++
+				st.Ops++
+				return
+			}
+			st.RecordFailure(c)
+			switch {
+			case c == cps.TCC:
+				// The explicit abort: software transactions are still
+				// active. That is not this block's fault — wait for the
+				// stragglers to drain rather than burning the failure
+				// budget (unless the whole system moved to the software
+				// phase under us).
+				for spin := 0; s.Load(p.swCount) != 0 && s.Load(p.swMode) == 0; spin++ {
+					core.Backoff(s, spin)
+				}
+				if s.Load(p.swMode) != 0 {
+					failScore = p.cfg.MaxFailures // phase moved under us
+				}
+			case c.Has(cps.UCTI):
+				// UCTI dominates: the other reported bits may be artifacts
+				// of misspeculation, so retry rather than trusting them —
+				// the very purpose of the R2 bit (Section 3).
+				failScore += p.cfg.UCTIWeight
+			case c.Any(cps.INST | cps.FP | cps.PREC):
+				failScore = p.cfg.MaxFailures
+			default:
+				failScore++
+				if c.Has(cps.COH) {
+					core.Backoff(s, attempt)
+				}
+			}
+		}
+		// Trigger the software phase.
+		s.Store(p.swMode, p.cfg.SWHold)
+	}
+	// Software phase: announce, run on the STM, withdraw, and drift the
+	// phase back toward hardware.
+	s.Add(p.swCount, 1)
+	p.back.Atomic(s, body)
+	s.Add(p.swCount, ^sim.Word(0))
+	if mode := s.Load(p.swMode); mode > 0 {
+		s.CAS(p.swMode, mode, mode-1)
+	}
+}
+
+// AtomicRO implements core.System.
+func (p *System) AtomicRO(s *sim.Strand, body func(core.Ctx)) { p.Atomic(s, body) }

@@ -1,0 +1,159 @@
+package rbtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/core"
+	"rocktm/internal/locktm"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm/sky"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 21
+	cfg.MaxCycles = 1 << 42
+	return sim.New(cfg)
+}
+
+// TestDirectOpsAgainstModel drives the tree with a deterministic random
+// op sequence against a Go map and validates the red-black invariants
+// throughout.
+func TestDirectOpsAgainstModel(t *testing.T) {
+	m := newMachine(1)
+	tree := New(m, 1<<14)
+	mem := m.Mem()
+	model := map[uint64]bool{}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 4000; i++ {
+		key := next() % 512
+		switch next() % 3 {
+		case 0:
+			got := tree.InsertDirect(mem, key, sim.Word(key*2))
+			if got == model[key] {
+				t.Fatalf("op %d: insert(%d) = %v, model has %v", i, key, got, model[key])
+			}
+			model[key] = true
+		case 1:
+			got := tree.DeleteDirect(mem, key)
+			if got != model[key] {
+				t.Fatalf("op %d: delete(%d) = %v, model %v", i, key, got, model[key])
+			}
+			delete(model, key)
+		case 2:
+			_, got := tree.LookupDirect(mem, key)
+			if got != model[key] {
+				t.Fatalf("op %d: lookup(%d) = %v, model %v", i, key, got, model[key])
+			}
+		}
+		if i%64 == 0 {
+			n := tree.CheckInvariants(mem)
+			if n != len(model) {
+				t.Fatalf("op %d: tree has %d nodes, model %d", i, n, len(model))
+			}
+		}
+	}
+	if n := tree.CheckInvariants(mem); n != len(model) {
+		t.Fatalf("final: tree has %d nodes, model %d", n, len(model))
+	}
+}
+
+// TestQuickSequences is a property test: any operation sequence leaves a
+// valid red-black tree agreeing with a model map.
+func TestQuickSequences(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		m := newMachine(1)
+		tree := New(m, 1<<13)
+		mem := m.Mem()
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			key := uint64(op % 128)
+			switch (op >> 7) % 3 {
+			case 0:
+				if tree.InsertDirect(mem, key, 1) == model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if tree.DeleteDirect(mem, key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			case 2:
+				if _, ok := tree.LookupDirect(mem, key); ok != model[key] {
+					return false
+				}
+			}
+		}
+		return tree.CheckInvariants(mem) == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMixedOps exercises the tree under an STM and under TLE-less
+// locking with several strands; final contents must match a sequential
+// replay (per-strand disjoint key ranges make the expected result exact).
+func TestConcurrentMixedOps(t *testing.T) {
+	const threads = 4
+	m := newMachine(threads)
+	tree := New(m, 1<<14)
+	sys := sky.New(m)
+	m.Run(func(s *sim.Strand) {
+		base := uint64(s.ID()) * 1000
+		for i := uint64(0); i < 120; i++ {
+			tree.InsertOp(sys, s, base+i, sim.Word(i))
+		}
+		for i := uint64(0); i < 120; i += 2 {
+			tree.DeleteOp(sys, s, base+i)
+		}
+	})
+	n := tree.CheckInvariants(m.Mem())
+	if n != threads*60 {
+		t.Fatalf("tree has %d nodes, want %d", n, threads*60)
+	}
+	for tid := 0; tid < threads; tid++ {
+		base := uint64(tid) * 1000
+		for i := uint64(0); i < 120; i++ {
+			_, ok := tree.LookupDirect(m.Mem(), base+i)
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("key %d present=%v want %v", base+i, ok, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentSharedRange hammers one small shared key range from all
+// strands under a lock system and revalidates the invariants.
+func TestConcurrentSharedRange(t *testing.T) {
+	const threads = 4
+	m := newMachine(threads)
+	tree := New(m, 1<<14)
+	sys := locktm.NewOneLock(m)
+	keys := make([]uint64, 0, 32)
+	for k := uint64(0); k < 64; k += 2 {
+		keys = append(keys, k)
+	}
+	tree.Prepopulate(m.Mem(), keys, 7)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < 200; i++ {
+			key := uint64(s.RandIntn(64))
+			if s.RandIntn(2) == 0 {
+				tree.InsertOp(sys, s, key, 1)
+			} else {
+				tree.DeleteOp(sys, s, key)
+			}
+		}
+	})
+	tree.CheckInvariants(m.Mem())
+}
+
+var _ = core.Setup{} // keep the import obvious for readers

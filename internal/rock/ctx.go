@@ -1,0 +1,36 @@
+package rock
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// Ctx adapts a hardware transaction to the core.Ctx access interface, so
+// data-structure code written once runs unchanged inside HTM.
+type Ctx struct {
+	T *Txn
+}
+
+var _ core.Ctx = Ctx{}
+
+// Load implements core.Ctx.
+func (c Ctx) Load(a sim.Addr) sim.Word { return c.T.Load(a) }
+
+// Store implements core.Ctx.
+func (c Ctx) Store(a sim.Addr, w sim.Word) { c.T.Store(a, w) }
+
+// Branch implements core.Ctx.
+func (c Ctx) Branch(pc uint32, taken bool, dependsOnLoad bool) {
+	c.T.Branch(pc, taken, dependsOnLoad)
+}
+
+// Div implements core.Ctx: a divide instruction aborts Rock transactions
+// with CPS=FP.
+func (c Ctx) Div() { c.T.Div() }
+
+// Call implements core.Ctx: a function call's save/restore aborts with
+// CPS=INST.
+func (c Ctx) Call() { c.T.Call() }
+
+// Strand implements core.Ctx.
+func (c Ctx) Strand() *sim.Strand { return c.T.Strand() }

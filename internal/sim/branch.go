@@ -1,0 +1,45 @@
+package sim
+
+// branchPredictor is a gshare predictor: a table of 2-bit saturating
+// counters indexed by the branch PC xor-folded with global history. Data-
+// dependent branches — walking a red-black tree, extract-min on a heap —
+// mispredict often, and on Rock a mispredicted branch inside a transaction
+// can abort it (CPS=CTI). The predictor state persists across transaction
+// attempts, which both helps retries (the predictor learns) and is a source
+// of the probe effects the paper describes (fail-path code perturbing
+// predictor state).
+type branchPredictor struct {
+	table   []uint8
+	history uint32
+	mask    uint32
+}
+
+const branchTableBits = 12
+
+func newBranchPredictor() *branchPredictor {
+	return &branchPredictor{
+		table: make([]uint8, 1<<branchTableBits),
+		mask:  1<<branchTableBits - 1,
+	}
+}
+
+// predict records the outcome of the branch at pc and reports whether the
+// prediction was wrong.
+func (b *branchPredictor) predict(pc uint32, taken bool) (mispredict bool) {
+	idx := (pc ^ b.history) & b.mask
+	ctr := b.table[idx]
+	predictTaken := ctr >= 2
+	mispredict = predictTaken != taken
+	if taken {
+		if ctr < 3 {
+			b.table[idx] = ctr + 1
+		}
+		b.history = (b.history<<1 | 1) & b.mask
+	} else {
+		if ctr > 0 {
+			b.table[idx] = ctr - 1
+		}
+		b.history = (b.history << 1) & b.mask
+	}
+	return mispredict
+}

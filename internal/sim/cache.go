@@ -1,0 +1,173 @@
+package sim
+
+// l1Cache models a strand's 4-way set-associative L1 data cache. Rock's
+// 32 KB, 64-byte-line L1 has 128 sets of 4 ways; transactional read-set
+// tracking lives here: a transactionally marked line that gets displaced
+// aborts the transaction with CPS=LD, and five loads mapping to one 4-way
+// set can never all be marked at once (the "cache set test" of Section 3).
+type l1Cache struct {
+	sets   int
+	ways   int
+	tags   []int32 // sets*ways entries; -1 = invalid
+	age    []int64 // LRU timestamps
+	marked []bool
+	tick   int64
+}
+
+func newL1(sets, ways int) *l1Cache {
+	c := &l1Cache{
+		sets:   sets,
+		ways:   ways,
+		tags:   make([]int32, sets*ways),
+		age:    make([]int64, sets*ways),
+		marked: make([]bool, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// lookup returns the way index holding line, or -1.
+func (c *l1Cache) lookup(line int32) int {
+	base := (int(line) % c.sets) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// access touches line, filling it on a miss. It returns:
+//
+//	hit          — whether the line was already present,
+//	evicted      — the line displaced to make room (-1 if none),
+//	evictedMark  — whether the displaced line was transactionally marked,
+//	idx          — the slot now holding the line.
+//
+// On a miss with all ways transactionally marked, the LRU *marked* way is
+// displaced — that is the mechanism behind LD aborts: the hardware cannot
+// keep the read set pinned.
+func (c *l1Cache) access(line int32) (hit bool, evicted int32, evictedMark bool, idx int) {
+	c.tick++
+	if i := c.lookup(line); i >= 0 {
+		c.age[i] = c.tick
+		return true, -1, false, i
+	}
+	base := (int(line) % c.sets) * c.ways
+	victim := base
+	victimMarked := true
+	// Prefer the LRU unmarked way; fall back to the LRU marked way.
+	var bestUnmarked, bestMarked = -1, -1
+	for w := base; w < base+c.ways; w++ {
+		if c.tags[w] == -1 {
+			bestUnmarked = w
+			c.age[w] = 0
+			break
+		}
+		if !c.marked[w] {
+			if bestUnmarked == -1 || c.age[w] < c.age[bestUnmarked] {
+				bestUnmarked = w
+			}
+		} else if bestMarked == -1 || c.age[w] < c.age[bestMarked] {
+			bestMarked = w
+		}
+	}
+	if bestUnmarked >= 0 {
+		victim, victimMarked = bestUnmarked, false
+	} else {
+		victim, victimMarked = bestMarked, true
+	}
+	evicted = c.tags[victim]
+	evictedMark = victimMarked && evicted != -1
+	c.tags[victim] = line
+	c.age[victim] = c.tick
+	c.marked[victim] = false
+	return false, evicted, evictedMark, victim
+}
+
+// invalidate drops line if present, returning (wasPresent, wasMarked).
+func (c *l1Cache) invalidate(line int32) (bool, bool) {
+	if i := c.lookup(line); i >= 0 {
+		m := c.marked[i]
+		c.tags[i] = -1
+		c.marked[i] = false
+		return true, m
+	}
+	return false, false
+}
+
+// mark flags slot idx as transactionally marked.
+func (c *l1Cache) mark(idx int) { c.marked[idx] = true }
+
+// clearMark removes the transactional mark from line if present.
+func (c *l1Cache) clearMark(line int32) {
+	if i := c.lookup(line); i >= 0 {
+		c.marked[i] = false
+	}
+}
+
+// markedCountInSet returns how many ways of line's set are marked. Used by
+// the failure-analysis profiler (Section 6.1 reports the maximum number of
+// read-set lines mapping to a single L1 set).
+func (c *l1Cache) markedCountInSet(line int32) int {
+	base := (int(line) % c.sets) * c.ways
+	n := 0
+	for w := base; w < base+c.ways; w++ {
+		if c.marked[w] && c.tags[w] != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// l2Cache models the shared, inclusive second-level cache. Evicting a line
+// from L2 back-invalidates every L1 copy; if one of those copies was
+// transactionally marked, the owning transaction aborts with CPS=COH — the
+// surprising single-threaded "coherence" failures of Section 3's cache set
+// test (the OS idle loop on a sibling strand displacing L2 lines).
+type l2Cache struct {
+	sets int
+	ways int
+	tags []int32
+	age  []int64
+	tick int64
+}
+
+func newL2(sets, ways int) *l2Cache {
+	c := &l2Cache{
+		sets: sets,
+		ways: ways,
+		tags: make([]int32, sets*ways),
+		age:  make([]int64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// access touches line, returning whether it hit and which line (if any) was
+// evicted to make room.
+func (c *l2Cache) access(line int32) (hit bool, evicted int32) {
+	c.tick++
+	base := (int(line) % c.sets) * c.ways
+	victim := base
+	for w := base; w < base+c.ways; w++ {
+		if c.tags[w] == line {
+			c.age[w] = c.tick
+			return true, -1
+		}
+		if c.tags[w] == -1 {
+			victim = w
+			c.age[victim] = 0
+		} else if c.age[w] < c.age[victim] {
+			victim = w
+		}
+	}
+	evicted = c.tags[victim]
+	c.tags[victim] = line
+	c.age[victim] = c.tick
+	return false, evicted
+}

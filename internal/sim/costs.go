@@ -1,0 +1,60 @@
+package sim
+
+// Costs is the cycle-cost table of the simulated machine. The values are
+// plausible for a ~2.3 GHz aggressive out-of-order part of the Rock era; they
+// are not measurements of Rock itself. Experiments care about the *shape* of
+// results, which is governed by the ratios here (an L2 miss is two orders of
+// magnitude more expensive than an L1 hit, a CAS costs tens of cycles, ...).
+type Costs struct {
+	// FreqGHz converts cycles to wall-clock time when reporting throughput.
+	FreqGHz float64
+
+	// Op is the base cost of one simulated instruction (ALU work, issue).
+	Op int64
+	// L1Hit is the additional cost of a load/store that hits in the L1.
+	L1Hit int64
+	// L2Hit is the additional cost of an access that misses L1, hits L2.
+	L2Hit int64
+	// MemAccess is the additional cost of an access that misses both caches.
+	MemAccess int64
+	// CASExtra is the additional cost of an atomic compare-and-swap beyond
+	// the underlying memory access.
+	CASExtra int64
+	// Mispredict is the pipeline-refill penalty of a mispredicted branch.
+	Mispredict int64
+	// Chkpt is the cost of taking a register checkpoint (chkpt instruction).
+	Chkpt int64
+	// CommitBase is the fixed cost of committing a transaction.
+	CommitBase int64
+	// CommitPerStore is the per-store cost of draining the store queue at
+	// commit.
+	CommitPerStore int64
+	// AbortPenalty is the pipeline-flush/restore cost of an aborted
+	// transaction, charged before control reaches the fail address.
+	AbortPenalty int64
+	// TLBWalk is the cost of a hardware table walk that services a TLB miss
+	// outside a transaction.
+	TLBWalk int64
+	// PageFault is the cost of the OS servicing a page fault (first touch
+	// of an unmapped or read-only page outside a transaction).
+	PageFault int64
+}
+
+// DefaultCosts returns the cost table used throughout the experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		FreqGHz:        2.3,
+		Op:             1,
+		L1Hit:          2,
+		L2Hit:          24,
+		MemAccess:      220,
+		CASExtra:       30,
+		Mispredict:     16,
+		Chkpt:          6,
+		CommitBase:     14,
+		CommitPerStore: 2,
+		AbortPenalty:   24,
+		TLBWalk:        140,
+		PageFault:      1800,
+	}
+}

@@ -1,0 +1,300 @@
+// Package sim implements a deterministic discrete-event simulator of a
+// Rock-like chip multiprocessor: up to 64 hardware strands with private L1
+// caches, TLBs and branch predictors over a shared L2 and word-addressed
+// memory, plus the checkpoint-based best-effort hardware transactional
+// memory that the paper studies.
+//
+// Strands are goroutines scheduled cooperatively in virtual-time order: a
+// baton is passed so that exactly one strand executes at any moment, and a
+// strand yields the baton whenever its cycle clock runs more than a quantum
+// ahead of the laggard. This gives three properties the experiments need:
+// runs are bit-for-bit reproducible, there are no Go data races by
+// construction, and 1–16-"thread" scaling curves are meaningful even on a
+// single-core host because throughput is computed from simulated cycles,
+// not wall time.
+package sim
+
+import "fmt"
+
+// MaxStrands is the largest number of strands a machine supports (the
+// coherence directory uses 64-bit presence masks). A Rock chip has 32.
+const MaxStrands = 64
+
+// Mode selects the chip execution mode (Section 2 of the paper).
+type Mode int
+
+const (
+	// SSE — Simultaneous Scout Execution — dedicates both hardware threads
+	// of a core to one software thread: the store queue holds 32 entries
+	// (two banks of 16) and the deferred queue is larger. All headline data
+	// in the paper is taken in SSE mode.
+	SSE Mode = iota
+	// SE — Scout Execution — runs two software threads per core; each gets
+	// a 16-entry store queue (two banks of 8), which makes transactional
+	// stores overflow much sooner (the paper's Section 8.1 observes MSF
+	// transactions failing with ST|SIZ in SE mode).
+	SE
+)
+
+// Config describes a simulated machine. The zero value is not usable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// Strands is the number of hardware strands (software threads for our
+	// purposes; in SSE mode each occupies a whole core).
+	Strands int
+	// MemWords sizes simulated memory, in 64-bit words.
+	MemWords int
+	// Mode selects SSE (default) or SE execution.
+	Mode Mode
+	// Seed makes runs reproducible; every strand derives its RNG from it.
+	Seed uint64
+	// Quantum is the scheduling granularity in cycles: a strand yields once
+	// it runs this far ahead of the slowest runnable strand.
+	Quantum int64
+	// MaxCycles aborts the run (panic) if any strand's clock exceeds it;
+	// it is a guard against virtual-time livelock in tests. 0 disables.
+	MaxCycles int64
+
+	// Costs is the cycle-cost table.
+	Costs Costs
+
+	// L1Sets and L1Ways shape each strand's L1 (default 128×4 = 32 KB).
+	L1Sets, L1Ways int
+	// L2Sets and L2Ways shape the shared L2 (default 4096×8 = 2 MB).
+	L2Sets, L2Ways int
+	// MicroDTLB, MainDTLB and ITLB are the translation-buffer sizes.
+	MicroDTLB, MainDTLB, ITLB int
+
+	// StoreQueuePerBank is the per-bank store-queue capacity; there are two
+	// banks selected by a line-address bit. 0 means mode default (16 in
+	// SSE, 8 in SE).
+	StoreQueuePerBank int
+	// DeferredQueue is the capacity of the deferred-instruction queue;
+	// loads that miss the L1 inside a transaction defer their dependents,
+	// and overflow aborts with CPS=SIZ. 0 means mode default (32 SSE/16 SE).
+	DeferredQueue int
+	// DeferPerMiss is how many deferred-queue entries each in-transaction
+	// L1 miss consumes.
+	DeferPerMiss int
+
+	// CTIAbortProb is the probability that a mispredicted branch inside a
+	// transaction aborts it (CPS=CTI).
+	CTIAbortProb float64
+	// UCTIAbortProb is the probability that a branch issued while the load
+	// feeding its predicate is still outstanding aborts the transaction
+	// with CPS=UCTI (possibly with a misleading companion bit).
+	UCTIAbortProb float64
+	// StoreAfterMissProb is the probability that a transactional store
+	// whose address depends on an immediately preceding L1-missing load
+	// aborts with CPS=ST ("store address unavailable due to an outstanding
+	// load miss", Section 3.1).
+	StoreAfterMissProb float64
+	// ExogProb is the probability that intervening code runs between an
+	// abort and the CPS read, replacing the register contents with EXOG.
+	ExogProb float64
+	// InterruptEvery delivers an asynchronous interrupt to each strand
+	// every so many cycles; a transaction in flight aborts with CPS=ASYNC.
+	// 0 disables.
+	InterruptEvery int64
+}
+
+// DefaultConfig returns a Rock-flavoured configuration for n strands.
+func DefaultConfig(n int) Config {
+	return Config{
+		Strands:            n,
+		MemWords:           1 << 22, // 32 MB
+		Mode:               SSE,
+		Seed:               1,
+		Quantum:            64,
+		Costs:              DefaultCosts(),
+		L1Sets:             128,
+		L1Ways:             4,
+		L2Sets:             4096,
+		L2Ways:             8,
+		MicroDTLB:          64,
+		MainDTLB:           512,
+		ITLB:               64,
+		DeferPerMiss:       4,
+		CTIAbortProb:       0.05,
+		UCTIAbortProb:      0.15,
+		StoreAfterMissProb: 0.3,
+	}
+}
+
+func (c *Config) storeQueuePerBank() int {
+	if c.StoreQueuePerBank > 0 {
+		return c.StoreQueuePerBank
+	}
+	if c.Mode == SE {
+		return 8
+	}
+	return 16
+}
+
+func (c *Config) deferredQueue() int {
+	if c.DeferredQueue > 0 {
+		return c.DeferredQueue
+	}
+	if c.Mode == SE {
+		return 16
+	}
+	return 32
+}
+
+// Machine is one simulated chip: shared memory, shared L2, and a set of
+// strands driven in virtual-time order.
+type Machine struct {
+	cfg Config
+	mem *Memory
+	l2  *l2Cache
+
+	strands []*Strand
+
+	// Scheduler state; only the baton holder touches it.
+	runnable  int
+	parkedMin int64
+	done      chan struct{}
+	running   bool
+}
+
+// New builds a machine. It panics on nonsensical configurations; machines
+// are always constructed from code, not external input.
+func New(cfg Config) *Machine {
+	if cfg.Strands <= 0 || cfg.Strands > MaxStrands {
+		panic(fmt.Sprintf("sim: Strands must be in [1,%d], got %d", MaxStrands, cfg.Strands))
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.Costs.FreqGHz == 0 {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.L1Sets == 0 {
+		cfg.L1Sets, cfg.L1Ways = 128, 4
+	}
+	if cfg.L2Sets == 0 {
+		cfg.L2Sets, cfg.L2Ways = 4096, 8
+	}
+	if cfg.MicroDTLB == 0 {
+		cfg.MicroDTLB = 8
+	}
+	if cfg.MainDTLB == 0 {
+		cfg.MainDTLB = 512
+	}
+	if cfg.ITLB == 0 {
+		cfg.ITLB = 64
+	}
+	if cfg.DeferPerMiss == 0 {
+		cfg.DeferPerMiss = 4
+	}
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 22
+	}
+	m := &Machine{
+		cfg:  cfg,
+		mem:  newMemory(cfg.MemWords),
+		l2:   newL2(cfg.L2Sets, cfg.L2Ways),
+		done: make(chan struct{}),
+	}
+	m.strands = make([]*Strand, cfg.Strands)
+	for i := range m.strands {
+		m.strands[i] = newStrand(m, i)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem returns the simulated memory, for setup (Alloc/Poke) and validation
+// (Peek) outside timed runs.
+func (m *Machine) Mem() *Memory { return m.mem }
+
+// Strand returns strand i for pre-run configuration (it must not be driven
+// outside Run).
+func (m *Machine) Strand(i int) *Strand { return m.strands[i] }
+
+// Run executes body(strand) on every strand concurrently in virtual time
+// and returns once all bodies have returned. A strand's goroutine runs only
+// while it holds the baton, so bodies may freely share simulated memory.
+// Run may be called repeatedly; strand clocks, caches and predictors persist
+// across calls (use a fresh Machine for an independent experiment).
+func (m *Machine) Run(body func(*Strand)) {
+	if m.running {
+		panic("sim: Run re-entered")
+	}
+	m.running = true
+	m.runnable = len(m.strands)
+	m.done = make(chan struct{})
+	for _, s := range m.strands {
+		s.done = false
+		s.parked = true
+	}
+	for _, s := range m.strands {
+		go func(s *Strand) {
+			<-s.wake
+			// finish must run even if the body panics or exits via
+			// runtime.Goexit (e.g. t.Fatal in a test body), or Run would
+			// block forever waiting for the baton to come home.
+			defer s.finish()
+			body(s)
+		}(s)
+	}
+	// Hand the baton to the strand with the lowest clock.
+	first := m.minParked()
+	first.parked = false
+	m.recomputeParkedMin()
+	first.wake <- struct{}{}
+	<-m.done
+	m.running = false
+}
+
+// minParked returns the parked, not-done strand with the lowest clock
+// (ties broken by ID). It must only be called when one exists.
+func (m *Machine) minParked() *Strand {
+	var best *Strand
+	for _, s := range m.strands {
+		if s.done || !s.parked {
+			continue
+		}
+		if best == nil || s.clock < best.clock {
+			best = s
+		}
+	}
+	if best == nil {
+		panic("sim: no parked strand")
+	}
+	return best
+}
+
+func (m *Machine) recomputeParkedMin() {
+	m.parkedMin = int64(1)<<62 - 1
+	for _, s := range m.strands {
+		if s.done || !s.parked {
+			continue
+		}
+		if s.clock < m.parkedMin {
+			m.parkedMin = s.clock
+		}
+	}
+}
+
+// MaxClock returns the largest strand clock — the elapsed virtual time of
+// the run so far, in cycles.
+func (m *Machine) MaxClock() int64 {
+	var max int64
+	for _, s := range m.strands {
+		if s.clock > max {
+			max = s.clock
+		}
+	}
+	return max
+}
+
+// Seconds converts cycles to simulated seconds at the configured frequency.
+func (m *Machine) Seconds(cycles int64) float64 {
+	return float64(cycles) / (m.cfg.Costs.FreqGHz * 1e9)
+}
+
+// ElapsedSeconds returns MaxClock in simulated seconds.
+func (m *Machine) ElapsedSeconds() float64 { return m.Seconds(m.MaxClock()) }

@@ -1,0 +1,43 @@
+package sim
+
+// rng is a splitmix64 pseudo-random generator. Every strand owns one, seeded
+// deterministically from the machine seed and the strand ID, so entire
+// multi-threaded experiment runs are reproducible bit-for-bit — which is what
+// lets us replay "the same" operation sequence under different TM systems,
+// as the paper does for its Section 6.1 failure analysis.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{state: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *rng) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// Chance reports true with probability p (0 disables, >=1 always fires).
+func (r *rng) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	const scale = 1 << 53
+	return float64(r.Next()>>11) < p*scale
+}

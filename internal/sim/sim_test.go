@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"testing"
+
+	"rocktm/internal/cps"
+)
+
+func newTestMachine(strands int) *Machine {
+	cfg := DefaultConfig(strands)
+	cfg.MemWords = 1 << 18
+	cfg.MaxCycles = 1 << 40
+	// Keep probabilistic aborts out of unit tests unless a test opts in.
+	cfg.CTIAbortProb = 0
+	cfg.UCTIAbortProb = 0
+	cfg.StoreAfterMissProb = 0
+	return New(cfg)
+}
+
+func TestBitValuesMatchCPSPackage(t *testing.T) {
+	pairs := []struct {
+		got  uint32
+		want cps.Bits
+	}{
+		{exogBit, cps.EXOG}, {cohBit, cps.COH}, {tccBit, cps.TCC},
+		{instBit, cps.INST}, {precBit, cps.PREC}, {asyncBit, cps.ASYNC},
+		{sizBit, cps.SIZ}, {ldBit, cps.LD}, {stBit, cps.ST},
+		{ctiBit, cps.CTI}, {fpBit, cps.FP}, {uctiBit, cps.UCTI},
+	}
+	for _, p := range pairs {
+		if p.got != uint32(p.want) {
+			t.Errorf("bit mismatch: %x vs %x", p.got, p.want)
+		}
+	}
+}
+
+func TestAllocAndPoke(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(100, WordsPerLine)
+	if a == 0 {
+		t.Fatal("Alloc returned null address")
+	}
+	if a%WordsPerLine != 0 {
+		t.Fatalf("Alloc not line aligned: %d", a)
+	}
+	m.Mem().Poke(a, 42)
+	if got := m.Mem().Peek(a); got != 42 {
+		t.Fatalf("Peek = %d, want 42", got)
+	}
+	b := m.Mem().Alloc(10, 0)
+	if b < a+100 {
+		t.Fatalf("overlapping allocations: %d after %d+100", b, a)
+	}
+}
+
+func TestLoadStoreCAS(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(8, WordsPerLine)
+	m.Run(func(s *Strand) {
+		s.Store(a, 7)
+		if got := s.Load(a); got != 7 {
+			t.Errorf("Load = %d, want 7", got)
+		}
+		if old, ok := s.CAS(a, 7, 9); !ok || old != 7 {
+			t.Errorf("CAS(7->9) = (%d,%v), want (7,true)", old, ok)
+		}
+		if old, ok := s.CAS(a, 7, 11); ok || old != 9 {
+			t.Errorf("CAS(7->11) = (%d,%v), want (9,false)", old, ok)
+		}
+		if got := s.Add(a, 3); got != 12 {
+			t.Errorf("Add = %d, want 12", got)
+		}
+	})
+	if got := m.Mem().Peek(a); got != 12 {
+		t.Fatalf("final value = %d, want 12", got)
+	}
+}
+
+func TestVirtualTimeInterleaving(t *testing.T) {
+	// Two strands increment a shared counter with CAS retry loops; with
+	// virtual-time scheduling both must make progress and the total must
+	// be exact.
+	m := newTestMachine(2)
+	a := m.Mem().Alloc(8, WordsPerLine)
+	const per = 1000
+	m.Run(func(s *Strand) {
+		for i := 0; i < per; i++ {
+			for {
+				old := s.Load(a)
+				if _, ok := s.CAS(a, old, old+1); ok {
+					break
+				}
+			}
+		}
+	})
+	if got := m.Mem().Peek(a); got != 2*per {
+		t.Fatalf("counter = %d, want %d", got, 2*per)
+	}
+	// Clocks should be within a few quanta of each other: both ran.
+	c0, c1 := m.Strand(0).Clock(), m.Strand(1).Clock()
+	if c0 == 0 || c1 == 0 {
+		t.Fatalf("a strand did not run: clocks %d, %d", c0, c1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, Word) {
+		m := newTestMachine(4)
+		a := m.Mem().Alloc(64, WordsPerLine)
+		m.Run(func(s *Strand) {
+			for i := 0; i < 500; i++ {
+				idx := s.RandIntn(8)
+				s.Store(a+Addr(idx), s.Rand())
+				s.Load(a + Addr(s.RandIntn(8)))
+			}
+		})
+		return m.MaxClock(), m.Mem().Peek(a)
+	}
+	c1, w1 := run()
+	c2, w2 := run()
+	if c1 != c2 || w1 != w2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, w1, c2, w2)
+	}
+}
+
+func TestTxnCommitAppliesStores(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(16, WordsPerLine)
+	m.Run(func(s *Strand) {
+		s.Store(a, 1) // warm TLB/write permission
+		s.TxBegin()
+		if !s.TxStore(a, 5) {
+			t.Fatalf("TxStore aborted: %v", s.CPS())
+		}
+		if w, ok := s.TxLoad(a); !ok || w != 5 {
+			t.Fatalf("read-own-write = (%d,%v), want (5,true)", w, ok)
+		}
+		if m.Mem().Peek(a) != 1 {
+			t.Fatal("store leaked before commit")
+		}
+		if !s.TxCommit() {
+			t.Fatalf("commit failed: %v", s.CPS())
+		}
+	})
+	if got := m.Mem().Peek(a); got != 5 {
+		t.Fatalf("after commit = %d, want 5", got)
+	}
+}
+
+func TestTxnAbortDiscardsStores(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(16, WordsPerLine)
+	m.Run(func(s *Strand) {
+		s.Store(a, 1)
+		s.TxBegin()
+		if !s.TxStore(a, 99) {
+			t.Fatalf("TxStore aborted: %v", s.CPS())
+		}
+		s.TxAbortTrap()
+		if s.TxActive() {
+			t.Fatal("still active after abort")
+		}
+		if got := s.CPS(); got != cps.TCC {
+			t.Fatalf("CPS = %v, want TCC", got)
+		}
+	})
+	if got := m.Mem().Peek(a); got != 1 {
+		t.Fatalf("aborted store leaked: %d", got)
+	}
+}
+
+func TestRequesterWinsConflict(t *testing.T) {
+	// Strand 0 starts a transaction and reads X, then spins; strand 1
+	// stores to X; strand 0's next transactional operation must observe a
+	// COH abort.
+	m := newTestMachine(2)
+	x := m.Mem().Alloc(8, WordsPerLine)
+	y := m.Mem().Alloc(8, WordsPerLine)
+	m.Run(func(s *Strand) {
+		if s.ID() == 0 {
+			s.Store(y, 0) // warm
+			s.TxBegin()
+			if _, ok := s.TxLoad(x); !ok {
+				t.Errorf("initial TxLoad failed: %v", s.CPS())
+				return
+			}
+			// Let strand 1 run far ahead.
+			s.Advance(10000)
+			if _, ok := s.TxLoad(x); ok {
+				if s.TxCommit() {
+					t.Error("transaction survived a conflicting store")
+				}
+				return
+			}
+			if got := s.CPS(); !got.Has(cps.COH) {
+				t.Errorf("CPS = %v, want COH", got)
+			}
+		} else {
+			s.Advance(2000) // let strand 0 mark x first
+			s.Store(x, 123)
+		}
+	})
+}
+
+func TestStoreQueueOverflow(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(64*WordsPerLine, WordsPerLine)
+	m.Run(func(s *Strand) {
+		// Warm the TLB so ST-from-TLB-miss does not hit first.
+		for p := PageOf(a); p <= PageOf(a+64*WordsPerLine-1); p++ {
+			s.CAS(Addr(p)<<PageShift, 0, 0)
+		}
+		// 32 stores to 32 distinct lines succeed (two banks of 16).
+		s.TxBegin()
+		okAll := true
+		for i := 0; i < 32; i++ {
+			if !s.TxStore(a+Addr(i*WordsPerLine), 1) {
+				okAll = false
+				break
+			}
+		}
+		if !okAll {
+			t.Fatalf("32 stores aborted early: %v", s.CPS())
+		}
+		if !s.TxCommit() {
+			t.Fatalf("32-store txn failed to commit: %v", s.CPS())
+		}
+		// The 33rd distinct line overflows a bank: ST|SIZ.
+		s.TxBegin()
+		for i := 0; i < 33; i++ {
+			if !s.TxStore(a+Addr(i*WordsPerLine), 1) {
+				if got := s.CPS(); got != cps.ST|cps.SIZ {
+					t.Fatalf("overflow CPS = %v, want ST|SIZ", got)
+				}
+				return
+			}
+		}
+		t.Fatal("33 stores did not overflow")
+	})
+}
+
+func TestMicroTLBMissOnStore(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(PageWords*2, PageWords)
+	m.Run(func(s *Strand) {
+		m.Mem().Remap(a, PageWords*2) // drop mappings
+		s.TxBegin()
+		if s.TxStore(a, 1) {
+			t.Fatal("store to unmapped page succeeded")
+		}
+		if got := s.CPS(); got != cps.ST {
+			t.Fatalf("CPS = %v, want ST", got)
+		}
+		// Unmapped at every level: retry keeps failing.
+		s.TxBegin()
+		if s.TxStore(a, 1) {
+			t.Fatal("retry to unmapped page succeeded")
+		}
+		// Dummy CAS warmup establishes mapping and write permission...
+		s.CAS(a, 0, 0)
+		// ...after which the transactional store succeeds.
+		s.TxBegin()
+		if !s.TxStore(a, 7) {
+			t.Fatalf("post-warmup store failed: %v", s.CPS())
+		}
+		if !s.TxCommit() {
+			t.Fatalf("post-warmup commit failed: %v", s.CPS())
+		}
+	})
+	if got := m.Mem().Peek(a); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestTxnLoadUnmappedPage(t *testing.T) {
+	m := newTestMachine(1)
+	a := m.Mem().Alloc(PageWords, PageWords)
+	m.Run(func(s *Strand) {
+		m.Mem().Remap(a, PageWords)
+		s.TxBegin()
+		if _, ok := s.TxLoad(a); ok {
+			t.Fatal("load from unmapped page succeeded")
+		}
+		if got := s.CPS(); got != cps.LD|cps.PREC {
+			t.Fatalf("CPS = %v, want LD|PREC", got)
+		}
+	})
+}
+
+func TestCacheSetTestFiveWays(t *testing.T) {
+	// Five loads mapping to the same 4-way L1 set can never all stay
+	// marked: CPS=LD (the Section 3 "cache set test").
+	m := newTestMachine(1)
+	cfg := m.Config()
+	stride := cfg.L1Sets * WordsPerLine
+	a := m.Mem().Alloc(stride*6, stride)
+	m.Run(func(s *Strand) {
+		s.TxBegin()
+		for i := 0; i < 5; i++ {
+			if _, ok := s.TxLoad(a + Addr(i*stride)); !ok {
+				if got := s.CPS(); !got.Has(cps.LD) {
+					t.Fatalf("CPS = %v, want LD set", got)
+				}
+				return
+			}
+		}
+		t.Fatal("five same-set loads did not abort")
+	})
+}
+
+func TestEvictionTest(t *testing.T) {
+	// Long line-stride load sequences cannot fit in L1: LD or SIZ.
+	m := newTestMachine(1)
+	cfg := m.Config()
+	lines := cfg.L1Sets*cfg.L1Ways + 64
+	a := m.Mem().Alloc(lines*WordsPerLine, WordsPerLine)
+	m.Run(func(s *Strand) {
+		s.TxBegin()
+		for i := 0; i < lines; i++ {
+			if _, ok := s.TxLoad(a + Addr(i*WordsPerLine)); !ok {
+				if got := s.CPS(); !got.Any(cps.LD | cps.SIZ) {
+					t.Fatalf("CPS = %v, want LD or SIZ", got)
+				}
+				return
+			}
+		}
+		t.Fatal("oversized read set did not abort")
+	})
+}
+
+func TestSaveRestoreDivTrap(t *testing.T) {
+	m := newTestMachine(1)
+	m.Run(func(s *Strand) {
+		s.TxBegin()
+		s.TxSaveRestore()
+		if got := s.CPS(); got != cps.INST {
+			t.Errorf("save/restore CPS = %v, want INST", got)
+		}
+		s.TxBegin()
+		s.TxDiv()
+		if got := s.CPS(); got != cps.FP {
+			t.Errorf("div CPS = %v, want FP", got)
+		}
+		s.TxBegin()
+		if !s.TxTrap(false) {
+			t.Error("untaken trap aborted")
+		}
+		if !s.TxCommit() {
+			t.Errorf("commit after untaken trap failed: %v", s.CPS())
+		}
+		s.TxBegin()
+		s.TxTrap(true)
+		if got := s.CPS(); got != cps.TCC {
+			t.Errorf("taken trap CPS = %v, want TCC", got)
+		}
+	})
+}
+
+func TestSEModeStoreQueue(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Mode = SE
+	cfg.MemWords = 1 << 18
+	cfg.StoreAfterMissProb = 0
+	m := New(cfg)
+	a := m.Mem().Alloc(64*WordsPerLine, WordsPerLine)
+	m.Run(func(s *Strand) {
+		for p := PageOf(a); p <= PageOf(a+64*WordsPerLine-1); p++ {
+			s.CAS(Addr(p)<<PageShift, 0, 0)
+		}
+		s.TxBegin()
+		for i := 0; i < 17; i++ {
+			if !s.TxStore(a+Addr(i*WordsPerLine), 1) {
+				if got := s.CPS(); got != cps.ST|cps.SIZ {
+					t.Fatalf("SE overflow CPS = %v, want ST|SIZ", got)
+				}
+				return
+			}
+		}
+		t.Fatal("17 stores fit a 16-entry SE store queue")
+	})
+}
+
+func TestAsyncInterrupt(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemWords = 1 << 16
+	cfg.InterruptEvery = 500
+	cfg.StoreAfterMissProb = 0
+	m := New(cfg)
+	a := m.Mem().Alloc(8, WordsPerLine)
+	m.Run(func(s *Strand) {
+		s.Store(a, 0)
+		sawAsync := false
+		for i := 0; i < 50 && !sawAsync; i++ {
+			s.TxBegin()
+			okRun := true
+			for j := 0; j < 30; j++ {
+				if _, ok := s.TxLoad(a); !ok {
+					okRun = false
+					break
+				}
+			}
+			if okRun && s.TxCommit() {
+				continue
+			}
+			if s.CPS().Has(cps.ASYNC) {
+				sawAsync = true
+			}
+		}
+		if !sawAsync {
+			t.Error("never observed an ASYNC abort with InterruptEvery=500")
+		}
+	})
+}

@@ -1,0 +1,398 @@
+package sim
+
+import "fmt"
+
+// Stats accumulates per-strand event counts for a run.
+type Stats struct {
+	Loads       uint64
+	Stores      uint64
+	CASes       uint64
+	L1Misses    uint64
+	L2Misses    uint64
+	Mispredicts uint64
+	TLBWalks    uint64
+	PageFaults  uint64
+	TxBegins    uint64
+	TxCommits   uint64
+	TxAborts    uint64
+}
+
+// Strand is one simulated hardware strand. All of its methods must be
+// called from the goroutine that Machine.Run started for it; the baton
+// discipline then guarantees mutual exclusion over all shared simulator
+// state without locks.
+type Strand struct {
+	m   *Machine
+	id  int
+	bit uint64
+
+	clock  int64
+	wake   chan struct{}
+	parked bool
+	done   bool
+
+	rng rng
+	l1  *l1Cache
+	mmu *mmu
+	bp  *branchPredictor
+
+	nextInterrupt int64
+
+	tx txnState
+
+	stats Stats
+}
+
+func newStrand(m *Machine, id int) *Strand {
+	s := &Strand{
+		m:    m,
+		id:   id,
+		bit:  1 << uint(id),
+		wake: make(chan struct{}, 1),
+		rng:  newRNG(m.cfg.Seed*0x9e3779b9 + uint64(id)*0x85ebca77 + 1),
+		l1:   newL1(m.cfg.L1Sets, m.cfg.L1Ways),
+		mmu:  newMMU(m.cfg.MicroDTLB, m.cfg.MainDTLB, m.cfg.ITLB),
+		bp:   newBranchPredictor(),
+	}
+	if m.cfg.InterruptEvery > 0 {
+		s.nextInterrupt = m.cfg.InterruptEvery
+	}
+	return s
+}
+
+// ID returns the strand number, in [0, Strands).
+func (s *Strand) ID() int { return s.id }
+
+// Clock returns the strand's virtual time in cycles.
+func (s *Strand) Clock() int64 { return s.clock }
+
+// Machine returns the owning machine.
+func (s *Strand) Machine() *Machine { return s.m }
+
+// Mem returns the shared simulated memory.
+func (s *Strand) Mem() *Memory { return s.m.mem }
+
+// Stats returns a copy of the strand's event counters.
+func (s *Strand) Stats() Stats { return s.stats }
+
+// Rand returns 64 deterministic pseudo-random bits.
+func (s *Strand) Rand() uint64 { return s.rng.Next() }
+
+// RandIntn returns a deterministic uniform value in [0, n).
+func (s *Strand) RandIntn(n int) int { return s.rng.Intn(n) }
+
+// Advance charges n cycles of pure compute (no memory traffic).
+func (s *Strand) Advance(n int64) { s.advance(n) }
+
+func (s *Strand) advance(n int64) {
+	s.clock += n
+	if max := s.m.cfg.MaxCycles; max > 0 && s.clock > max {
+		panic(fmt.Sprintf("sim: strand %d exceeded MaxCycles=%d (virtual livelock?)", s.id, max))
+	}
+	if s.nextInterrupt > 0 && s.clock >= s.nextInterrupt {
+		s.nextInterrupt = s.clock + s.m.cfg.InterruptEvery
+		if s.tx.active {
+			s.tx.doomed |= asyncBit
+		}
+	}
+	s.maybeYield()
+}
+
+// maybeYield hands the baton to the laggard strand once we have run a full
+// quantum ahead of it.
+func (s *Strand) maybeYield() {
+	m := s.m
+	if m.runnable <= 1 || s.clock <= m.parkedMin+m.cfg.Quantum {
+		return
+	}
+	next := m.minParked()
+	s.parked = true
+	next.parked = false
+	m.recomputeParkedMin()
+	next.wake <- struct{}{}
+	<-s.wake
+}
+
+// finish retires the strand at the end of its Run body and passes the baton
+// on (or completes the run).
+func (s *Strand) finish() {
+	m := s.m
+	s.done = true
+	m.runnable--
+	if m.runnable == 0 {
+		close(m.done)
+		return
+	}
+	next := m.minParked()
+	next.parked = false
+	m.recomputeParkedMin()
+	next.wake <- struct{}{}
+}
+
+// ---- Translation ----
+
+// translateLoad services address translation for a load outside a
+// transaction (page faults are taken and serviced by the simulated OS).
+func (s *Strand) translateLoad(a Addr) {
+	p := PageOf(a)
+	pg := &s.m.mem.pages[p]
+	if s.mmu.micro.lookup(p, pg.gen) || s.mmu.main.lookup(p, pg.gen) {
+		s.fillMicro(p, pg.gen)
+		return
+	}
+	if !pg.walkable {
+		s.pageFault(p, false)
+	} else {
+		s.clock += s.m.cfg.Costs.TLBWalk
+		s.stats.TLBWalks++
+	}
+	s.mmu.main.fill(p, pg.gen)
+	s.mmu.micro.fill(p, pg.gen)
+}
+
+func (s *Strand) fillMicro(p int32, gen uint32) {
+	if !s.mmu.micro.lookup(p, gen) {
+		s.mmu.micro.fill(p, gen)
+	}
+}
+
+// translateStore services translation for a store outside a transaction,
+// including the write fault that first establishes write permission.
+func (s *Strand) translateStore(a Addr) {
+	p := PageOf(a)
+	pg := &s.m.mem.pages[p]
+	if !s.mmu.micro.lookup(p, pg.gen) {
+		if !s.mmu.main.lookup(p, pg.gen) {
+			if !pg.walkable {
+				s.pageFault(p, true)
+			} else {
+				s.clock += s.m.cfg.Costs.TLBWalk
+				s.stats.TLBWalks++
+			}
+			s.mmu.main.fill(p, pg.gen)
+		}
+		s.mmu.micro.fill(p, pg.gen)
+	}
+	if !pg.writable {
+		s.pageFault(p, true)
+	}
+}
+
+// pageFault has the simulated OS service a fault on page p.
+func (s *Strand) pageFault(p int32, write bool) {
+	pg := &s.m.mem.pages[p]
+	if !pg.mapped {
+		panic(fmt.Sprintf("sim: strand %d faulted on unallocated page %d", s.id, p))
+	}
+	s.clock += s.m.cfg.Costs.PageFault
+	s.stats.PageFaults++
+	pg.walkable = true
+	if write {
+		pg.writable = true
+	}
+}
+
+// ---- Cache ----
+
+// fill brings line into the strand's L1 (and the shared L2), charging the
+// appropriate latency and maintaining the coherence directory. It reports
+// whether the access hit in L1 and whether a transactionally marked line
+// was displaced to make room.
+func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool) {
+	c := &s.m.cfg.Costs
+	hit, evicted, evMark, idx := s.l1.access(line)
+	if hit {
+		s.clock += c.L1Hit
+		return true, false
+	}
+	s.stats.L1Misses++
+	if evicted != -1 {
+		s.m.mem.lines[evicted].present &^= s.bit
+		s.m.mem.lines[evicted].marked &^= s.bit
+		s.m.mem.lines[evicted].written &^= s.bit
+	}
+	l2hit, l2evicted := s.m.l2.access(line)
+	if l2hit {
+		s.clock += c.L2Hit
+	} else {
+		s.clock += c.MemAccess
+		s.stats.L2Misses++
+	}
+	if l2evicted != -1 && l2evicted != line {
+		s.backInvalidate(l2evicted)
+	}
+	s.m.mem.lines[line].present |= s.bit
+	_ = idx
+	return false, evMark
+}
+
+// backInvalidate removes a line evicted from the inclusive L2 from every
+// L1; transactions holding it marked abort with COH (Section 3's
+// single-threaded "coherence" surprises).
+func (s *Strand) backInvalidate(line int32) {
+	lm := &s.m.mem.lines[line]
+	if lm.present == 0 {
+		return
+	}
+	for _, t := range s.m.strands {
+		if lm.present&t.bit == 0 {
+			continue
+		}
+		_, wasMarked := t.l1.invalidate(line)
+		if wasMarked || lm.marked&t.bit != 0 {
+			t.doom(cohBit)
+		}
+	}
+	lm.present = 0
+	lm.marked = 0
+	lm.written = 0
+}
+
+// storeInvalidate implements the exclusive-ownership request of a store:
+// every other strand's copy of the line is invalidated, and — requester
+// wins — every transaction holding it marked is doomed with COH.
+func (s *Strand) storeInvalidate(line int32) {
+	lm := &s.m.mem.lines[line]
+	others := (lm.present | lm.marked) &^ s.bit
+	if others == 0 {
+		return
+	}
+	for _, t := range s.m.strands {
+		if others&t.bit == 0 {
+			continue
+		}
+		t.l1.invalidate(line)
+		if lm.marked&t.bit != 0 {
+			t.doom(cohBit)
+		}
+	}
+	lm.present &= s.bit
+	lm.marked &= s.bit
+	lm.written &= s.bit
+}
+
+// loadConflict dooms transactions holding line in their *write* set: their
+// buffered store cannot coexist with our read (requester wins).
+func (s *Strand) loadConflict(line int32) {
+	lm := &s.m.mem.lines[line]
+	writers := lm.written &^ s.bit
+	if writers == 0 {
+		return
+	}
+	for _, t := range s.m.strands {
+		if writers&t.bit != 0 {
+			t.doom(cohBit)
+		}
+	}
+}
+
+// doom marks the strand's in-flight transaction (if any) as failed for the
+// given CPS reason; the failure is delivered at its next transactional
+// instruction or at commit.
+func (s *Strand) doom(reason uint32) {
+	if s.tx.active {
+		s.tx.doomed |= reason
+	}
+}
+
+// assertNoTxn guards against a modelling bug: ordinary (non-transactional)
+// memory operations inside a hardware transaction would bypass the store
+// queue and survive an abort.
+func (s *Strand) assertNoTxn(op string) {
+	if s.tx.active {
+		panic("sim: " + op + " while a hardware transaction is active")
+	}
+}
+
+// ---- Non-transactional memory operations ----
+
+// Load performs an ordinary (non-transactional) load.
+func (s *Strand) Load(a Addr) Word {
+	s.assertNoTxn("Load")
+	s.advance(s.m.cfg.Costs.Op)
+	s.stats.Loads++
+	s.translateLoad(a)
+	line := LineOf(a)
+	s.fill(line)
+	s.loadConflict(line)
+	return s.m.mem.words[a]
+}
+
+// Store performs an ordinary (non-transactional) store. It invalidates all
+// other cached copies and dooms any transaction that had the line marked.
+func (s *Strand) Store(a Addr, w Word) {
+	s.assertNoTxn("Store")
+	s.advance(s.m.cfg.Costs.Op)
+	s.stats.Stores++
+	s.translateStore(a)
+	line := LineOf(a)
+	s.fill(line)
+	s.storeInvalidate(line)
+	s.m.mem.words[a] = w
+}
+
+// CAS performs an atomic compare-and-swap, returning the previous value and
+// whether the swap happened. A CAS requests exclusive ownership whether or
+// not it succeeds, so it dooms conflicting transactions either way — which
+// is also why a "dummy CAS" (old == new == current value) is the idiom for
+// warming the TLB and write permission without changing data (Section 3).
+func (s *Strand) CAS(a Addr, old, new Word) (Word, bool) {
+	s.assertNoTxn("CAS")
+	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
+	s.stats.CASes++
+	s.translateStore(a)
+	line := LineOf(a)
+	s.fill(line)
+	s.storeInvalidate(line)
+	cur := s.m.mem.words[a]
+	if cur != old {
+		return cur, false
+	}
+	s.m.mem.words[a] = new
+	return cur, true
+}
+
+// Add atomically adds delta to the word at a and returns the new value
+// (a CAS loop in real code; modelled as one CAS-priced operation).
+func (s *Strand) Add(a Addr, delta Word) Word {
+	s.assertNoTxn("Add")
+	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
+	s.stats.CASes++
+	s.translateStore(a)
+	line := LineOf(a)
+	s.fill(line)
+	s.storeInvalidate(line)
+	s.m.mem.words[a] += delta
+	return s.m.mem.words[a]
+}
+
+// Branch models a conditional branch at the (arbitrary but stable) program
+// counter pc with the given outcome, charging the mispredict penalty when
+// the predictor is wrong.
+func (s *Strand) Branch(pc uint32, taken bool) {
+	s.advance(s.m.cfg.Costs.Op)
+	if s.bp.predict(pc, taken) {
+		s.stats.Mispredicts++
+		s.clock += s.m.cfg.Costs.Mispredict
+	}
+}
+
+// Exec models fetching code from the page containing codePage, filling the
+// ITLB on a miss (outside transactions the walk just costs time).
+func (s *Strand) Exec(codePage int32) {
+	s.advance(s.m.cfg.Costs.Op)
+	pg := &s.m.mem.pages[codePage]
+	if !s.mmu.itlb.lookup(codePage, pg.gen) {
+		s.clock += s.m.cfg.Costs.TLBWalk
+		s.stats.TLBWalks++
+		s.mmu.itlb.fill(codePage, pg.gen)
+	}
+}
+
+// FlushTLBs drops all of the strand's TLB state (simulating a context
+// switch).
+func (s *Strand) FlushTLBs() {
+	s.mmu.micro.flush()
+	s.mmu.main.flush()
+	s.mmu.itlb.flush()
+}

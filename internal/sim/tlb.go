@@ -1,0 +1,88 @@
+package sim
+
+// tlb is a fully associative, LRU translation buffer with generation
+// checking: entries become stale when the OS remaps the page (Memory.Remap
+// bumps the page generation), which is how "re-mmap the memory ... has the
+// effect of removing any TLB mappings" (Section 3) is modelled.
+type tlb struct {
+	entries int
+	pageOf  []int32
+	genOf   []uint32
+	age     []int64
+	tick    int64
+}
+
+func newTLB(entries int) *tlb {
+	t := &tlb{
+		entries: entries,
+		pageOf:  make([]int32, entries),
+		genOf:   make([]uint32, entries),
+		age:     make([]int64, entries),
+	}
+	for i := range t.pageOf {
+		t.pageOf[i] = -1
+	}
+	return t
+}
+
+// lookup reports whether a current-generation mapping for page is present.
+func (t *tlb) lookup(page int32, gen uint32) bool {
+	t.tick++
+	for i := 0; i < t.entries; i++ {
+		if t.pageOf[i] == page {
+			if t.genOf[i] == gen {
+				t.age[i] = t.tick
+				return true
+			}
+			// Stale mapping: drop it.
+			t.pageOf[i] = -1
+			return false
+		}
+	}
+	return false
+}
+
+// fill installs a mapping for page, evicting the LRU entry if needed.
+func (t *tlb) fill(page int32, gen uint32) {
+	t.tick++
+	victim := 0
+	for i := 0; i < t.entries; i++ {
+		if t.pageOf[i] == page || t.pageOf[i] == -1 {
+			victim = i
+			break
+		}
+		if t.age[i] < t.age[victim] {
+			victim = i
+		}
+	}
+	t.pageOf[victim] = page
+	t.genOf[victim] = gen
+	t.age[victim] = t.tick
+}
+
+// flush drops every entry (used on simulated context switches).
+func (t *tlb) flush() {
+	for i := range t.pageOf {
+		t.pageOf[i] = -1
+	}
+}
+
+// mmu bundles a strand's translation state: a small micro-DTLB backed by a
+// larger main DTLB, plus an instruction TLB. Rock fails a transactional
+// store that misses the micro-DTLB (CPS=ST); because the failing access
+// generates an MMU request, the mapping is established from the higher
+// levels and a retry succeeds — unless no mapping exists at any level, in
+// which case only software TLB warmup (the "dummy CAS" idiom) helps.
+type mmu struct {
+	micro *tlb
+	main  *tlb
+	itlb  *tlb
+}
+
+func newMMU(microEntries, mainEntries, itlbEntries int) *mmu {
+	return &mmu{
+		micro: newTLB(microEntries),
+		main:  newTLB(mainEntries),
+		itlb:  newTLB(itlbEntries),
+	}
+}

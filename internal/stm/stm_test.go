@@ -1,0 +1,53 @@
+package stm
+
+import (
+	"testing"
+
+	"rocktm/internal/sim"
+)
+
+func TestRunAttemptConvertsAbort(t *testing.T) {
+	if ok := RunAttempt(func() { Abort() }); ok {
+		t.Fatal("aborted attempt reported success")
+	}
+	if ok := RunAttempt(func() {}); !ok {
+		t.Fatal("clean attempt reported failure")
+	}
+}
+
+func TestRunAttemptPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	RunAttempt(func() { panic("bug") })
+}
+
+func TestOrecTableRejectsBadSizes(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.MemWords = 1 << 16
+	m := sim.New(cfg)
+	for _, n := range []int{0, -4, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d accepted", n)
+				}
+			}()
+			NewOrecTable(m.Mem(), n)
+		}()
+	}
+}
+
+func TestOrecIndexAndBaseAgree(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.MemWords = 1 << 16
+	m := sim.New(cfg)
+	tbl := NewOrecTable(m.Mem(), 256)
+	for _, a := range []sim.Addr{0, 7, 8, 4096, 65535} {
+		if tbl.OrecOf(a) != tbl.Base()+sim.Addr(tbl.Index(a)) {
+			t.Fatalf("OrecOf/Index disagree at %d", a)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package tle implements Transactional Lock Elision (Section 7 of the
+// paper): a lock-based critical section is executed as a hardware
+// transaction that merely *reads* the lock word and verifies it is free, so
+// non-conflicting critical sections run in parallel. If the transaction
+// cannot commit, the policy retries — guided by the CPS register — and
+// eventually falls back to really acquiring the lock. Because an elided
+// transaction has the lock word in its read set, a fallback acquisition
+// dooms all concurrent elisions, preserving lock semantics.
+package tle
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/locktm"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+)
+
+// ElidableLock is the lock interface TLE wraps: a single word that is zero
+// exactly when the lock is free, plus acquire/release for the fallback
+// path. The ro flag selects a shared acquisition where the lock supports
+// one.
+type ElidableLock interface {
+	Addr() sim.Addr
+	Acquire(s *sim.Strand, ro bool)
+	Release(s *sim.Strand, ro bool)
+}
+
+// SpinAdapter adapts a locktm.SpinLock.
+type SpinAdapter struct{ L *locktm.SpinLock }
+
+// Addr implements ElidableLock.
+func (a SpinAdapter) Addr() sim.Addr { return a.L.Addr() }
+
+// Acquire implements ElidableLock.
+func (a SpinAdapter) Acquire(s *sim.Strand, _ bool) { a.L.Acquire(s) }
+
+// Release implements ElidableLock.
+func (a SpinAdapter) Release(s *sim.Strand, _ bool) { a.L.Release(s) }
+
+// RWAdapter adapts a locktm.RWLock; read-only fallbacks acquire shared.
+type RWAdapter struct{ L *locktm.RWLock }
+
+// Addr implements ElidableLock.
+func (a RWAdapter) Addr() sim.Addr { return a.L.Addr() }
+
+// Acquire implements ElidableLock.
+func (a RWAdapter) Acquire(s *sim.Strand, ro bool) {
+	if ro {
+		a.L.AcquireRead(s)
+	} else {
+		a.L.AcquireWrite(s)
+	}
+}
+
+// Release implements ElidableLock.
+func (a RWAdapter) Release(s *sim.Strand, ro bool) {
+	if ro {
+		a.L.ReleaseRead(s)
+	} else {
+		a.L.ReleaseWrite(s)
+	}
+}
+
+// Policy tunes the retry heuristics. The defaults follow the paper: try
+// until the failure score reaches MaxFailures, where a UCTI failure counts
+// only UCTIWeight because the reported reason may be misspeculation
+// (Section 8.1 uses 8 and one half); give up immediately on reasons that
+// will never go away (unsupported instructions, divide); back off before
+// retrying after a coherence conflict.
+type Policy struct {
+	// MaxFailures is the failure score at which elision gives up and the
+	// lock is acquired.
+	MaxFailures float64
+	// UCTIWeight is how much a UCTI-flagged failure adds to the score.
+	UCTIWeight float64
+	// GiveUp aborts elision immediately when any of these CPS bits is set.
+	GiveUp cps.Bits
+	// BackoffOn backs off (exponentially) before retrying when any of
+	// these bits is set.
+	BackoffOn cps.Bits
+	// UseCPS disables all CPS-based decisions when false: every failure
+	// counts 1 and nothing gives up early — the "very simplistic policy"
+	// of the C++ STL vector experiment (Section 7.1).
+	UseCPS bool
+}
+
+// DefaultPolicy returns the CPS-guided policy used by the modified JVM and
+// the MSF experiments.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxFailures: 8,
+		UCTIWeight:  0.5,
+		GiveUp:      cps.INST | cps.FP | cps.PREC,
+		BackoffOn:   cps.COH,
+		UseCPS:      true,
+	}
+}
+
+// SimplePolicy returns the fixed-count policy of the STL vector experiment:
+// n attempts, no CPS consultation.
+func SimplePolicy(n int) Policy {
+	return Policy{MaxFailures: float64(n), UCTIWeight: 1, UseCPS: false}
+}
+
+// System is a core.System executing every atomic block as an elided
+// critical section of a single lock.
+type System struct {
+	name     string
+	lock     ElidableLock
+	pol      Policy
+	stats    *core.Stats
+	enabled  bool
+	throttle *Throttle
+}
+
+// New builds a TLE system over the given lock.
+func New(name string, lock ElidableLock, pol Policy) *System {
+	return &System{name: name, lock: lock, pol: pol, stats: core.NewStats(), enabled: true}
+}
+
+// SetEnabled turns elision off (every block acquires the lock), modelling
+// "code for TLE emitted, but with the feature disabled" (Section 7.2).
+func (t *System) SetEnabled(on bool) { t.enabled = on }
+
+// Name implements core.System.
+func (t *System) Name() string { return t.name }
+
+// Stats implements core.System.
+func (t *System) Stats() *core.Stats { return t.stats }
+
+// Atomic implements core.System.
+func (t *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
+	t.run(s, body, false)
+}
+
+// AtomicRO implements core.System.
+func (t *System) AtomicRO(s *sim.Strand, body func(core.Ctx)) {
+	t.run(s, body, true)
+}
+
+// Execute runs body under elision of an arbitrary caller-supplied lock
+// (used by the mini-JVM, which has one monitor per object rather than one
+// global lock).
+func (t *System) Execute(s *sim.Strand, lock ElidableLock, body func(core.Ctx), ro bool) {
+	t.executeOn(s, lock, body, ro)
+}
+
+func (t *System) run(s *sim.Strand, body func(core.Ctx), ro bool) {
+	t.executeOn(s, t.lock, body, ro)
+}
+
+func (t *System) executeOn(s *sim.Strand, lock ElidableLock, body func(core.Ctx), ro bool) {
+	st := t.stats
+	if t.enabled {
+		// When TLE is compiled in, the wrapper itself costs a little even
+		// when disabled; charge the dispatch overhead symmetrically.
+		s.Advance(2)
+		sawCOH := false
+		fellToLock := false
+		if t.throttle != nil {
+			took := t.throttle.enter(s)
+			defer func() { t.throttle.leave(s, took, sawCOH && fellToLock) }()
+		}
+		lockAddr := lock.Addr()
+		failScore := 0.0
+		st.HWBlocks++
+		for attempt := 0; failScore < t.pol.MaxFailures; attempt++ {
+			st.HWAttempts++
+			ok, c := Try(s, lockAddr, body)
+			if ok {
+				st.HWCommits++
+				st.Ops++
+				return
+			}
+			if c.Has(cps.COH) {
+				sawCOH = true
+			}
+			st.RecordFailure(c)
+			if c == cps.TCC {
+				// The explicit abort: the lock was held. Wait for it to
+				// free up, then retry; lock-holder waits score half.
+				failScore += 0.5
+				for spin := 0; s.Load(lockAddr) != 0; spin++ {
+					core.Backoff(s, spin)
+				}
+				continue
+			}
+			if t.pol.UseCPS {
+				if c.Has(cps.UCTI) {
+					// UCTI dominates any companion bits: the reported
+					// reason may be a misspeculation artifact, so retry
+					// (Section 3's rationale for the bit).
+					failScore += t.pol.UCTIWeight
+				} else if c.Any(t.pol.GiveUp) {
+					break
+				} else {
+					failScore++
+				}
+				if c.Any(t.pol.BackoffOn) {
+					core.Backoff(s, attempt)
+				}
+			} else {
+				failScore++
+			}
+		}
+		fellToLock = true
+	}
+	lock.Acquire(s, ro)
+	body(core.Raw{S: s})
+	lock.Release(s, ro)
+	st.LockAcquires++
+	st.Ops++
+}
+
+// Try runs body once as an elided hardware transaction: the transaction
+// reads the lock word (placing it in its read set), aborts explicitly if
+// the lock is held, and otherwise runs the critical section speculatively.
+func Try(s *sim.Strand, lockAddr sim.Addr, body func(core.Ctx)) (bool, cps.Bits) {
+	return rock.Try(s, func(tx *rock.Txn) {
+		if tx.Load(lockAddr) != 0 {
+			tx.Abort()
+		}
+		body(rock.Ctx{T: tx})
+	})
+}
+
+// Throttle is the adaptive concurrency limiter sketched as future work in
+// Section 7.2 ("adaptively throttling concurrency when contention
+// arises"): an admission counter in simulated memory bounds how many
+// strands may attempt elision at once. The limit follows an
+// additive-increase / multiplicative-decrease rule driven by observed
+// outcomes — coherence failures shrink it toward serial execution,
+// successes grow it back toward full concurrency.
+type Throttle struct {
+	active sim.Addr
+	limit  int
+	max    int
+	// successes since the last adjustment
+	streak int
+}
+
+// NewThrottle builds a limiter for machines of up to maxConcurrency
+// strands.
+func NewThrottle(m *sim.Machine) *Throttle {
+	n := m.Config().Strands
+	return &Throttle{
+		active: m.Mem().AllocLines(sim.WordsPerLine),
+		limit:  n,
+		max:    n,
+	}
+}
+
+// enter blocks (spinning in virtual time) until an elision slot is free.
+// While the limit sits at the maximum — no contention observed — admission
+// is free: the shared counter is not touched at all, so the throttle costs
+// nothing on the uncontended fast path. It reports whether a slot was
+// actually taken.
+func (th *Throttle) enter(s *sim.Strand) bool {
+	if th.limit >= th.max {
+		return false
+	}
+	for spin := 0; ; spin++ {
+		cur := s.Load(th.active)
+		if int(cur) < th.limit {
+			if _, ok := s.CAS(th.active, cur, cur+1); ok {
+				return true
+			}
+			continue
+		}
+		core.Backoff(s, spin)
+	}
+}
+
+// leave releases the slot (if one was taken) and adapts the limit:
+// multiplicative decrease when a block exhausted its elision budget on
+// coherence conflicts, additive increase after a run of clean blocks.
+func (th *Throttle) leave(s *sim.Strand, took, contended bool) {
+	if took {
+		s.Add(th.active, ^sim.Word(0))
+	}
+	if contended {
+		th.streak = 0
+		if th.limit > 1 {
+			th.limit /= 2
+		}
+		return
+	}
+	th.streak++
+	if th.streak >= 32 && th.limit < th.max {
+		th.limit++
+		th.streak = 0
+	}
+}
+
+// SetThrottle installs an adaptive concurrency limiter on the system (nil
+// removes it).
+func (t *System) SetThrottle(th *Throttle) { t.throttle = th }

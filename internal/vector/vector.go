@@ -1,0 +1,90 @@
+// Package vector implements the STL-vector analogue of the Section 7.1 TLE
+// experiment: a contiguous array with a size word, exercised with
+// increment (push_back), decrement (pop_back) and read operations. The
+// paper wraps an *unmodified* std::vector's critical sections in simple
+// TLE macros; here the same operations are written against core.Ctx and
+// wrapped by whichever System the experiment selects.
+package vector
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// Branch sites.
+var (
+	pcPushCap = core.PC("vector.push.cap")
+	pcPopZero = core.PC("vector.pop.zero")
+	pcReadIdx = core.PC("vector.read.idx")
+)
+
+// Vector is a bounded vector in simulated memory (capacity is reserved up
+// front; the experiment's size wanders well inside it, as the paper's
+// ctr-range=40 around initsize=100 does).
+type Vector struct {
+	sizeA sim.Addr
+	data  sim.Addr
+	cap   int
+}
+
+// New builds a vector with the given capacity and initial size (elements
+// initialized to their index).
+func New(m *sim.Machine, capacity, initial int) *Vector {
+	if initial > capacity {
+		panic("vector: initial size exceeds capacity")
+	}
+	v := &Vector{
+		sizeA: m.Mem().AllocLines(sim.WordsPerLine),
+		data:  m.Mem().AllocLines(capacity),
+		cap:   capacity,
+	}
+	m.Mem().Poke(v.sizeA, sim.Word(initial))
+	for i := 0; i < initial; i++ {
+		m.Mem().Poke(v.data+sim.Addr(i), sim.Word(i))
+	}
+	return v
+}
+
+// PushBack appends val; it reports false when the vector is at capacity
+// (the experiment never reaches it).
+func (v *Vector) PushBack(c core.Ctx, val sim.Word) bool {
+	sz := c.Load(v.sizeA)
+	fits := int(sz) < v.cap
+	c.Branch(pcPushCap, fits, true)
+	if !fits {
+		return false
+	}
+	c.Store(v.data+sim.Addr(sz), val)
+	c.Store(v.sizeA, sz+1)
+	return true
+}
+
+// PopBack removes the last element, reporting the value and whether the
+// vector was non-empty.
+func (v *Vector) PopBack(c core.Ctx) (sim.Word, bool) {
+	sz := c.Load(v.sizeA)
+	empty := sz == 0
+	c.Branch(pcPopZero, empty, true)
+	if empty {
+		return 0, false
+	}
+	val := c.Load(v.data + sim.Addr(sz-1))
+	c.Store(v.sizeA, sz-1)
+	return val, true
+}
+
+// Read returns element i. Like STL operator[], it is unchecked: it does
+// not consult the size word, so concurrent read-mostly traffic under lock
+// elision shares no cache line with push/pop traffic (the property behind
+// Figure 3(a)'s scaling). The caller keeps i within the range the workload
+// guarantees valid.
+func (v *Vector) Read(c core.Ctx, i int) sim.Word {
+	if i >= v.cap {
+		i = v.cap - 1
+	}
+	c.Branch(pcReadIdx, i&1 == 0, false)
+	return c.Load(v.data + sim.Addr(i))
+}
+
+// Size returns the current size (validation helper).
+func (v *Vector) Size(mem *sim.Memory) int { return int(mem.Peek(v.sizeA)) }

@@ -1,0 +1,137 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocktm/internal/core"
+	"rocktm/internal/locktm"
+	"rocktm/internal/sim"
+	"rocktm/internal/tle"
+)
+
+func newMachine(strands int) *sim.Machine {
+	cfg := sim.DefaultConfig(strands)
+	cfg.MemWords = 1 << 19
+	cfg.MaxCycles = 1 << 42
+	return sim.New(cfg)
+}
+
+func TestPushPopRead(t *testing.T) {
+	m := newMachine(1)
+	v := New(m, 16, 4)
+	m.Run(func(s *sim.Strand) {
+		c := core.Raw{S: s}
+		if got := v.Read(c, 2); got != 2 {
+			t.Errorf("Read(2) = %d, want 2", got)
+		}
+		// Read is unchecked (STL operator[]): beyond-capacity indexes are
+		// clamped to the last slot, which is unwritten here.
+		if got := v.Read(c, 99); got != 0 {
+			t.Errorf("out-of-range Read = %d, want 0 (unwritten slot)", got)
+		}
+		if !v.PushBack(c, 42) {
+			t.Error("PushBack failed below capacity")
+		}
+		if got, ok := v.PopBack(c); !ok || got != 42 {
+			t.Errorf("PopBack = (%d,%v), want (42,true)", got, ok)
+		}
+	})
+	if v.Size(m.Mem()) != 4 {
+		t.Errorf("size = %d, want 4", v.Size(m.Mem()))
+	}
+}
+
+func TestCapacityAndEmptyEdges(t *testing.T) {
+	m := newMachine(1)
+	v := New(m, 2, 0)
+	m.Run(func(s *sim.Strand) {
+		c := core.Raw{S: s}
+		if _, ok := v.PopBack(c); ok {
+			t.Error("PopBack on empty succeeded")
+		}
+		if v.Read(c, 0) != 0 {
+			t.Error("Read of unwritten slot should be 0")
+		}
+		if !v.PushBack(c, 1) || !v.PushBack(c, 2) {
+			t.Error("pushes below capacity failed")
+		}
+		if v.PushBack(c, 3) {
+			t.Error("push above capacity succeeded")
+		}
+	})
+}
+
+// TestSizeConservedUnderTLE is the Figure 3(a) invariant: with balanced
+// push/pop traffic under elision the final size equals initial plus the
+// push-pop delta, exactly.
+func TestSizeConservedUnderTLE(t *testing.T) {
+	const threads = 4
+	m := newMachine(threads)
+	v := New(m, 4096, 100)
+	sys := tle.New("htm.oneLock", tle.SpinAdapter{L: locktm.NewSpinLock(m.Mem())}, tle.SimplePolicy(20))
+	pushes := make([]int, threads)
+	pops := make([]int, threads)
+	m.Run(func(s *sim.Strand) {
+		for i := 0; i < 400; i++ {
+			switch s.RandIntn(3) {
+			case 0:
+				ok := false
+				sys.Atomic(s, func(c core.Ctx) { ok = v.PushBack(c, 1) })
+				if ok {
+					pushes[s.ID()]++
+				}
+			case 1:
+				ok := false
+				sys.Atomic(s, func(c core.Ctx) { _, ok = v.PopBack(c) })
+				if ok {
+					pops[s.ID()]++
+				}
+			default:
+				sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, s.RandIntn(128)) })
+			}
+		}
+	})
+	want := 100
+	for i := 0; i < threads; i++ {
+		want += pushes[i] - pops[i]
+	}
+	if got := v.Size(m.Mem()); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+}
+
+func TestQuickPushPopSequences(t *testing.T) {
+	prop := func(ops []bool) bool {
+		m := newMachine(1)
+		v := New(m, len(ops)+8, 0)
+		okAll := true
+		m.Run(func(s *sim.Strand) {
+			c := core.Raw{S: s}
+			depth := 0
+			for _, push := range ops {
+				if push {
+					v.PushBack(c, sim.Word(depth))
+					depth++
+				} else if depth > 0 {
+					got, ok := v.PopBack(c)
+					depth--
+					if !ok || got != sim.Word(depth) {
+						okAll = false
+						return
+					}
+				} else if _, ok := v.PopBack(c); ok {
+					okAll = false
+					return
+				}
+			}
+			if v.Size(m.Mem()) != depth {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
