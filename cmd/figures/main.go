@@ -8,11 +8,14 @@
 //	figures -exp fig4 -msf-dim 96    # a bigger roadmap
 //	figures -ops 20000               # more operations per thread
 //	figures -csv                     # machine-readable output too
+//	figures -json                    # one JSON document per figure
+//	figures -exp attrib              # Table-4-style abort attribution
+//	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
 //
 // Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
-// divide inline treemap volano fig4 msfse profile, plus the ablations
-// ablate-retry (PhTM retry budget), ablate-ucti (UCTI failure weight) and
-// ablate-throttle (adaptive concurrency throttling extension).
+// divide inline treemap volano fig4 msfse profile attrib, plus the
+// ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI failure
+// weight) and ablate-throttle (adaptive concurrency throttling extension).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 
 	"rocktm/internal/bench"
+	"rocktm/internal/obs"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 		thrFlag  = flag.String("threads", "1,2,3,4,6,8,12,16", "thread counts")
 		seedFlag = flag.Uint64("seed", 1, "experiment seed")
 		csvFlag  = flag.Bool("csv", false, "also emit CSV rows")
+		jsonFlag = flag.Bool("json", false, "also emit one JSON document per figure/report")
+		traceFlg = flag.String("trace", "", "write a Chrome trace_event JSON file of every timed run")
 		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
 		profOps  = flag.Int("profile-ops", 1500, "operations for the Section 6.1 profile")
 	)
@@ -43,6 +49,11 @@ func main() {
 		os.Exit(2)
 	}
 	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag}
+	var sink *obs.TraceSink
+	if *traceFlg != "" {
+		sink = &obs.TraceSink{}
+		o.Trace = sink
+	}
 	mo := bench.MSFOptions{Width: *msfDim, Height: *msfDim, Threads: threads, Seed: *seedFlag}
 
 	type experiment struct {
@@ -91,6 +102,30 @@ func main() {
 		if *csvFlag {
 			fig.CSV(os.Stdout)
 		}
+		if *jsonFlag {
+			if err := fig.JSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: json: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if all || selected["attrib"] {
+		ran++
+		rep, err := bench.AttributionReport(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: attrib: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		if *csvFlag {
+			rep.CSV(os.Stdout)
+		}
+		if *jsonFlag {
+			if err := rep.JSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: attrib: json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if all || selected["profile"] {
 		ran++
@@ -103,6 +138,23 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "figures: no experiment matched %q\n", *expFlag)
 		os.Exit(2)
+	}
+	if sink != nil {
+		f, err := os.Create(*traceFlg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := sink.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %d events from %d runs to %s (load in Perfetto / chrome://tracing)\n",
+			sink.Events(), sink.Runs(), *traceFlg)
 	}
 }
 

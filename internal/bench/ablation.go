@@ -36,7 +36,7 @@ func AblationRetryBudget(o Options) (*Figure, error) {
 					return phtm.New(m, sky.New(m), cfg)
 				},
 			}
-			p, err := runKV(o, kvConfig{
+			p, err := runKV(o, "ablate-retry", kvConfig{
 				keyRange:  2048,
 				pctLookup: 96,
 				memWords:  1 << 22,

@@ -6,12 +6,14 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
+	"rocktm/internal/obs"
 	"rocktm/internal/sim"
 )
 
@@ -26,6 +28,29 @@ type Options struct {
 	OpsPerThread int
 	Seed         uint64
 	Out          io.Writer
+
+	// Trace, when non-nil, receives one cycle-timestamped event trace per
+	// timed run (labelled "experiment/system@threads"), exportable as
+	// Chrome trace_event JSON via TraceSink.WriteChrome.
+	Trace *obs.TraceSink
+	// TraceEvents is the per-strand trace ring capacity (<=0 selects the
+	// obs default).
+	TraceEvents int
+}
+
+// startTrace attaches a tracer to m when tracing is requested.
+func (o Options) startTrace(m *sim.Machine) *obs.Tracer {
+	if o.Trace == nil {
+		return nil
+	}
+	return m.StartTrace(o.TraceEvents)
+}
+
+// endTrace deposits a finished run's events into the sink.
+func (o Options) endTrace(tr *obs.Tracer, label string) {
+	if tr != nil && o.Trace != nil {
+		o.Trace.Add(label, tr.FreqGHz(), tr.Merged())
+	}
 }
 
 // Defaults fills unset fields.
@@ -135,6 +160,44 @@ func (f *Figure) CSV(w io.Writer) {
 			fmt.Fprintf(w, "%s,%s,%d,%.4f,%s\n", f.Title, c.Name, p.Threads, p.OpsPerUsec, p.Extra)
 		}
 	}
+}
+
+// jsonPoint / jsonCurve / jsonFigure mirror the figure for -json output.
+// The envelope fields ("kind", "title", "notes") are shared with the
+// attribution report's JSON form so downstream tooling can switch on
+// "kind" and treat both uniformly.
+type jsonPoint struct {
+	Threads    int     `json:"threads"`
+	OpsPerUsec float64 `json:"ops_per_usec"`
+	Extra      string  `json:"extra,omitempty"`
+}
+
+type jsonCurve struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonFigure struct {
+	Kind   string      `json:"kind"`
+	Title  string      `json:"title"`
+	YLabel string      `json:"ylabel,omitempty"`
+	Curves []jsonCurve `json:"curves"`
+	Notes  []string    `json:"notes,omitempty"`
+}
+
+// JSON writes the figure as one indented JSON document.
+func (f *Figure) JSON(w io.Writer) error {
+	doc := jsonFigure{Kind: "figure", Title: f.Title, YLabel: f.YLabel, Notes: f.Notes}
+	for _, c := range f.Curves {
+		jc := jsonCurve{Name: c.Name, Points: make([]jsonPoint, 0, len(c.Points))}
+		for _, p := range c.Points {
+			jc.Points = append(jc.Points, jsonPoint{Threads: p.Threads, OpsPerUsec: p.OpsPerUsec, Extra: p.Extra})
+		}
+		doc.Curves = append(doc.Curves, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }
 
 // ValueAt returns curve name's throughput at the given thread count.

@@ -28,10 +28,11 @@ type kvConfig struct {
 
 // runKV measures one (system, threads) cell: prepopulate with half the key
 // range, then run opsPerThread random operations per thread.
-func runKV(o Options, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
+func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
 	m := machineFor(threads, cfg.memWords, o.Seed)
 	st := cfg.build(m, cfg.keyRange)
 	sys := sb.Build(m)
+	tr := o.startTrace(m)
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < o.OpsPerThread; i++ {
 			key := uint64(s.RandIntn(cfg.keyRange))
@@ -46,6 +47,7 @@ func runKV(o Options, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
 			}
 		}
 	})
+	o.endTrace(tr, fmt.Sprintf("%s/%s@%dT", label, sb.Name, threads))
 	if cfg.validate != nil {
 		if err := cfg.validate(st, m.Mem()); err != nil {
 			return Point{}, fmt.Errorf("%s/%d threads: %w", sb.Name, threads, err)
@@ -65,7 +67,7 @@ func kvFigure(o Options, title string, cfg kvConfig) (*Figure, error) {
 	for _, sb := range tmSystems() {
 		curve := Curve{Name: sb.Name}
 		for _, th := range o.Threads {
-			p, err := runKV(o, cfg, sb, th)
+			p, err := runKV(o, title, cfg, sb, th)
 			if err != nil {
 				return nil, err
 			}

@@ -34,11 +34,13 @@ func CounterFigure(o Options) (*Figure, error) {
 			cfg.Quantum = 8
 			m := sim.New(cfg)
 			ctr := counter.New(m)
+			tr := o.startTrace(m)
 			m.Run(func(s *sim.Strand) {
 				for i := 0; i < o.OpsPerThread; i++ {
 					ctr.Inc(s, method)
 				}
 			})
+			o.endTrace(tr, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
 			if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
 				return nil, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
 			}

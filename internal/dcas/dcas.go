@@ -11,6 +11,7 @@ import (
 	"rocktm/internal/alloc"
 	"rocktm/internal/core"
 	"rocktm/internal/locktm"
+	"rocktm/internal/obs"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 )
@@ -32,6 +33,12 @@ func New(m *sim.Machine) *DCAS {
 
 // Stats returns cumulative attempt statistics.
 func (d *DCAS) Stats() *core.Stats { return d.stats }
+
+// Publish registers the provider's statistics with the unified metrics
+// registry under the "dcas" subsystem.
+func (d *DCAS) Publish(reg *obs.Registry) {
+	reg.Register("dcas", func() obs.Sample { return d.stats.Sample() })
+}
 
 // Do atomically checks *a1==o1 && *a2==o2 and, if both hold, stores n1 and
 // n2. It reports whether the swap happened.
@@ -64,6 +71,7 @@ func (d *DCAS) Do(s *sim.Strand, a1 sim.Addr, o1, n1 sim.Word, a2 sim.Addr, o2, 
 		core.Backoff(s, attempt)
 	}
 	// Guaranteed-progress fallback under the (elided) lock.
+	s.TraceEvent(obs.EvFallback, uint64(lockAddr))
 	d.lock.Acquire(s)
 	d.stats.LockAcquires++
 	d.stats.Ops++

@@ -13,6 +13,7 @@ package hytm
 import (
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
+	"rocktm/internal/obs"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
@@ -96,6 +97,7 @@ func (h *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 		}
 	}
 	// Software fallback; the back end retries internally until it commits.
+	s.TraceEvent(obs.EvFallback, 0)
 	h.back.Atomic(s, body)
 }
 

@@ -9,6 +9,7 @@ package locktm
 
 import (
 	"rocktm/internal/core"
+	"rocktm/internal/obs"
 	"rocktm/internal/sim"
 )
 
@@ -33,6 +34,7 @@ func (l *SpinLock) Acquire(s *sim.Strand) {
 	for attempt := 0; ; attempt++ {
 		if s.Load(l.addr) == 0 {
 			if _, ok := s.CAS(l.addr, 0, 1); ok {
+				s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
 				return
 			}
 		}
@@ -46,11 +48,17 @@ func (l *SpinLock) TryAcquire(s *sim.Strand) bool {
 		return false
 	}
 	_, ok := s.CAS(l.addr, 0, 1)
+	if ok {
+		s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
+	}
 	return ok
 }
 
 // Release frees the lock.
-func (l *SpinLock) Release(s *sim.Strand) { s.Store(l.addr, 0) }
+func (l *SpinLock) Release(s *sim.Strand) {
+	s.Store(l.addr, 0)
+	s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
+}
 
 // Held reports whether the lock word is nonzero (a racy peek, used by
 // elision code inside transactions via Ctx.Load instead).
@@ -77,6 +85,7 @@ func (l *RWLock) AcquireWrite(s *sim.Strand) {
 	for attempt := 0; ; attempt++ {
 		if s.Load(l.addr) == 0 {
 			if _, ok := s.CAS(l.addr, 0, rwWriter); ok {
+				s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
 				return
 			}
 		}
@@ -85,7 +94,10 @@ func (l *RWLock) AcquireWrite(s *sim.Strand) {
 }
 
 // ReleaseWrite frees the exclusive lock.
-func (l *RWLock) ReleaseWrite(s *sim.Strand) { s.Store(l.addr, 0) }
+func (l *RWLock) ReleaseWrite(s *sim.Strand) {
+	s.Store(l.addr, 0)
+	s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
+}
 
 // AcquireRead takes the lock shared.
 func (l *RWLock) AcquireRead(s *sim.Strand) {
@@ -93,6 +105,7 @@ func (l *RWLock) AcquireRead(s *sim.Strand) {
 		cur := s.Load(l.addr)
 		if cur&rwWriter == 0 {
 			if _, ok := s.CAS(l.addr, cur, cur+2); ok {
+				s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
 				return
 			}
 		}
@@ -105,6 +118,7 @@ func (l *RWLock) ReleaseRead(s *sim.Strand) {
 	for {
 		cur := s.Load(l.addr)
 		if _, ok := s.CAS(l.addr, cur, cur-2); ok {
+			s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
 			return
 		}
 	}

@@ -1,0 +1,59 @@
+package obs
+
+import "rocktm/internal/cps"
+
+// AbortProfile is the fold of a trace's transaction events: how many
+// hardware transactions began, committed and aborted, and the distribution
+// of CPS values over the aborts — the raw material of the paper's Table 4
+// abort-attribution breakdowns.
+type AbortProfile struct {
+	Begins    uint64
+	Commits   uint64
+	Aborts    uint64
+	Fallbacks uint64
+	SWCommits uint64
+	// Hist counts exact CPS register values over aborts.
+	Hist *cps.Histogram
+}
+
+// Attribute folds a merged event stream into an AbortProfile.
+func Attribute(events []Event) AbortProfile {
+	p := AbortProfile{Hist: cps.NewHistogram()}
+	for _, e := range events {
+		switch e.Kind {
+		case EvTxBegin:
+			p.Begins++
+		case EvTxCommit:
+			p.Commits++
+		case EvTxAbort:
+			p.Aborts++
+			p.Hist.Add(e.CPS())
+		case EvFallback:
+			p.Fallbacks++
+		case EvSWCommit:
+			p.SWCommits++
+		}
+	}
+	return p
+}
+
+// AbortRate is the fraction of begun transactions that aborted.
+func (p AbortProfile) AbortRate() float64 {
+	if p.Begins == 0 {
+		return 0
+	}
+	return float64(p.Aborts) / float64(p.Begins)
+}
+
+// BitCounts returns, for every defined CPS bit, the number of aborts in
+// which that bit was set (bits co-occur, so the columns need not sum to
+// Aborts).
+func (p AbortProfile) BitCounts() map[cps.Bits]uint64 {
+	out := make(map[cps.Bits]uint64, len(cps.All))
+	for _, bit := range cps.All {
+		if n := p.Hist.BitCount(bit); n > 0 {
+			out[bit] = n
+		}
+	}
+	return out
+}

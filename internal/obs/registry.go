@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rocktm/internal/cps"
+)
+
+// NamedValue is one counter in a metrics sample.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Sample is what one metrics source reports when the registry collects:
+// an ordered list of counters plus an optional CPS failure histogram.
+type Sample struct {
+	Counters []NamedValue
+	CPS      *cps.Histogram
+}
+
+// Registry is the unified metrics registry: every subsystem (each TM
+// system, each simulator strand, the DCAS provider, ...) registers a
+// collection callback, and Snapshot pulls them all into one coherent,
+// render- and JSON-able view keyed by subsystem and strand.
+//
+// Collection is pull-based, so registering a source adds zero cost to the
+// subsystem's hot path — the existing counter structs (core.Stats,
+// sim.Stats) remain the storage and become thin compatibility accessors
+// over this registry's view.
+type Registry struct {
+	sources []registeredSource
+}
+
+type registeredSource struct {
+	subsystem string
+	strand    int // -1 for strand-agnostic sources
+	collect   func() Sample
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a strand-agnostic metrics source under the subsystem name.
+// Registering the same name twice keeps both; Snapshot reports them in
+// registration order.
+func (r *Registry) Register(subsystem string, collect func() Sample) {
+	r.sources = append(r.sources, registeredSource{subsystem: subsystem, strand: -1, collect: collect})
+}
+
+// RegisterStrand adds a per-strand metrics source.
+func (r *Registry) RegisterStrand(subsystem string, strand int, collect func() Sample) {
+	r.sources = append(r.sources, registeredSource{subsystem: subsystem, strand: strand, collect: collect})
+}
+
+// CPSCount is one row of a snapshot's CPS histogram.
+type CPSCount struct {
+	Value    string  `json:"cps"`
+	Count    uint64  `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+// SubsystemSnapshot is the collected state of one source.
+type SubsystemSnapshot struct {
+	Name     string       `json:"subsystem"`
+	Strand   int          `json:"strand"` // -1 when strand-agnostic
+	Counters []NamedValue `json:"counters,omitempty"`
+	CPS      []CPSCount   `json:"cps,omitempty"`
+}
+
+// Snapshot is a point-in-time collection of every registered source.
+type Snapshot struct {
+	Subsystems []SubsystemSnapshot `json:"subsystems"`
+}
+
+// Snapshot collects all sources. Sources registered with the same
+// subsystem name stay distinct entries (disambiguated by strand).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{}
+	for _, src := range r.sources {
+		s := src.collect()
+		entry := SubsystemSnapshot{Name: src.subsystem, Strand: src.strand, Counters: s.Counters}
+		if s.CPS != nil && s.CPS.Total() > 0 {
+			for _, e := range s.CPS.Entries() {
+				entry.CPS = append(entry.CPS, CPSCount{Value: e.Value.String(), Count: e.Count, Fraction: e.Fraction})
+			}
+		}
+		snap.Subsystems = append(snap.Subsystems, entry)
+	}
+	return snap
+}
+
+// Counter returns the named counter of the first matching subsystem entry,
+// summed across strands when the subsystem registered per-strand sources.
+func (s Snapshot) Counter(subsystem, name string) (uint64, bool) {
+	var total uint64
+	found := false
+	for _, sub := range s.Subsystems {
+		if sub.Name != subsystem {
+			continue
+		}
+		for _, c := range sub.Counters {
+			if c.Name == name {
+				total += c.Value
+				found = true
+			}
+		}
+	}
+	return total, found
+}
+
+// Render writes the snapshot as an aligned text report.
+func (s Snapshot) Render(w io.Writer) {
+	for _, sub := range s.Subsystems {
+		label := sub.Name
+		if sub.Strand >= 0 {
+			label = fmt.Sprintf("%s/strand%d", sub.Name, sub.Strand)
+		}
+		var parts []string
+		for _, c := range sub.Counters {
+			if c.Value != 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
+			}
+		}
+		fmt.Fprintf(w, "%-20s %s\n", label, strings.Join(parts, " "))
+		if len(sub.CPS) > 0 {
+			var cp []string
+			for _, c := range sub.CPS {
+				cp = append(cp, fmt.Sprintf("%s:%d(%.1f%%)", c.Value, c.Count, 100*c.Fraction))
+			}
+			fmt.Fprintf(w, "%-20s cps: %s\n", "", strings.Join(cp, " "))
+		}
+	}
+}
+
+// WriteJSON writes the snapshot as one JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// CPSDelta lists the CPS observations present in after but not in before
+// (two snapshots of one growing histogram). It replaces the bespoke
+// histogram-diff loops that per-package profilers used to carry.
+func CPSDelta(before, after *cps.Histogram) []cps.Bits {
+	var out []cps.Bits
+	for _, e := range after.Entries() {
+		delta := e.Count - before.Count(e.Value)
+		for i := uint64(0); i < delta; i++ {
+			out = append(out, e.Value)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

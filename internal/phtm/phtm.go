@@ -16,6 +16,7 @@ package phtm
 import (
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
+	"rocktm/internal/obs"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
@@ -126,6 +127,8 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 		}
 		// Trigger the software phase.
 		s.Store(p.swMode, p.cfg.SWHold)
+		s.TraceEvent(obs.EvModeSoftware, uint64(p.cfg.SWHold))
+		s.TraceEvent(obs.EvFallback, 0)
 	}
 	// Software phase: announce, run on the STM, withdraw, and drift the
 	// phase back toward hardware.
@@ -133,7 +136,11 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	p.back.Atomic(s, body)
 	s.Add(p.swCount, ^sim.Word(0))
 	if mode := s.Load(p.swMode); mode > 0 {
-		s.CAS(p.swMode, mode, mode-1)
+		if _, ok := s.CAS(p.swMode, mode, mode-1); ok && mode == 1 {
+			// This commit completed the software hold: the system has
+			// drifted back into the hardware phase.
+			s.TraceEvent(obs.EvModeHardware, 0)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ package profile
 import (
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
+	"rocktm/internal/obs"
 	"rocktm/internal/phtm"
 	"rocktm/internal/rbtree"
 	"rocktm/internal/sim"
@@ -71,13 +72,17 @@ type OpProfile struct {
 	StackWrites int
 }
 
-// recorder captures read/write sets through a wrapped Ctx.
+// recorder captures read/write sets through a wrapped Ctx. All of its
+// state (including the fill scratch map) is reused across operations, so
+// recording an operation is allocation-free in the steady state — the
+// property BenchmarkRecorderOp and TestRecorderSteadyStateAllocFree guard.
 type recorder struct {
 	inner  core.Ctx
 	l1Sets int
 
 	readLines  map[int32]struct{}
 	writeLines map[int32]struct{}
+	perSet     map[int]int // fill scratch: read lines per L1 set
 	writeWords int
 	bank       [2]int
 	bankLines  [2]int
@@ -89,6 +94,7 @@ func newRecorder(l1Sets int) *recorder {
 		l1Sets:     l1Sets,
 		readLines:  make(map[int32]struct{}),
 		writeLines: make(map[int32]struct{}),
+		perSet:     make(map[int]int),
 	}
 }
 
@@ -138,7 +144,8 @@ func (r *recorder) Strand() *sim.Strand { return r.inner.Strand() }
 
 func (r *recorder) fill(p *OpProfile) {
 	p.ReadLines = len(r.readLines)
-	perSet := make(map[int]int)
+	perSet := r.perSet
+	clear(perSet)
 	for line := range r.readLines {
 		perSet[int(line)%r.l1Sets]++
 	}
@@ -248,9 +255,7 @@ func Run(cfg Config) []OpProfile {
 				after := sys.Stats()
 				profiles[i].HWAttempts = after.HWAttempts - before.HWAttempts
 				profiles[i].FailedToSoftware = after.SWCommits > before.SWCommits
-				for _, e := range diffHist(before.CPSHist, after.CPSHist) {
-					profiles[i].CPS = append(profiles[i].CPS, e)
-				}
+				profiles[i].CPS = append(profiles[i].CPS, obs.CPSDelta(before.CPSHist, after.CPSHist)...)
 			}
 		})
 	}
@@ -273,18 +278,6 @@ func Run(cfg Config) []OpProfile {
 		})
 	}
 	return profiles
-}
-
-// diffHist lists the CPS values added between two cumulative histograms.
-func diffHist(before, after *cps.Histogram) []cps.Bits {
-	var out []cps.Bits
-	for _, e := range after.Entries() {
-		delta := e.Count - before.Count(e.Value)
-		for i := uint64(0); i < delta; i++ {
-			out = append(out, e.Value)
-		}
-	}
-	return out
 }
 
 // runOp performs one tree operation under sys, optionally wrapping the Ctx.

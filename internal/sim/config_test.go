@@ -1,0 +1,23 @@
+package sim
+
+import "testing"
+
+// TestMicroDTLBDefaultsConsistent guards against the configuration drift
+// where DefaultConfig advertised a 64-entry micro-DTLB while New's
+// zero-value fallback silently installed an 8-entry one: a hand-rolled
+// Config that left MicroDTLB unset simulated a machine with 8x the
+// store-TLB pressure (and thus wildly more ST-flagged transaction
+// failures) than the documented default. Both paths must agree.
+func TestMicroDTLBDefaultsConsistent(t *testing.T) {
+	def := DefaultConfig(1)
+	if def.MicroDTLB != DefaultMicroDTLB {
+		t.Errorf("DefaultConfig.MicroDTLB = %d, want DefaultMicroDTLB (%d)", def.MicroDTLB, DefaultMicroDTLB)
+	}
+	m := New(Config{Strands: 1, MemWords: 1 << 16})
+	if got := m.Config().MicroDTLB; got != DefaultMicroDTLB {
+		t.Errorf("New zero-value fallback MicroDTLB = %d, want DefaultMicroDTLB (%d)", got, DefaultMicroDTLB)
+	}
+	if m.Config().MicroDTLB != def.MicroDTLB {
+		t.Errorf("New fallback (%d) and DefaultConfig (%d) disagree", m.Config().MicroDTLB, def.MicroDTLB)
+	}
+}

@@ -14,11 +14,24 @@
 // not wall time.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"rocktm/internal/obs"
+)
 
 // MaxStrands is the largest number of strands a machine supports (the
 // coherence directory uses 64-bit presence masks). A Rock chip has 32.
 const MaxStrands = 64
+
+// DefaultMicroDTLB is the micro-DTLB size used both by DefaultConfig and by
+// New's zero-value fallback. All of the paper-reconstruction experiments
+// run with this value: it is large enough that micro-DTLB capacity misses
+// are not the dominant ST cause in steady state, while a store to a freshly
+// mapped page still misses it and needs the dummy-CAS warmup of Section
+// 3.1. (Historically DefaultConfig said 64 while New's fallback said 8; the
+// single constant removes that trap.)
+const DefaultMicroDTLB = 64
 
 // Mode selects the chip execution mode (Section 2 of the paper).
 type Mode int
@@ -111,7 +124,7 @@ func DefaultConfig(n int) Config {
 		L1Ways:             4,
 		L2Sets:             4096,
 		L2Ways:             8,
-		MicroDTLB:          64,
+		MicroDTLB:          DefaultMicroDTLB,
 		MainDTLB:           512,
 		ITLB:               64,
 		DeferPerMiss:       4,
@@ -150,6 +163,8 @@ type Machine struct {
 
 	strands []*Strand
 
+	trc *obs.Tracer
+
 	// Scheduler state; only the baton holder touches it.
 	runnable  int
 	parkedMin int64
@@ -176,7 +191,7 @@ func New(cfg Config) *Machine {
 		cfg.L2Sets, cfg.L2Ways = 4096, 8
 	}
 	if cfg.MicroDTLB == 0 {
-		cfg.MicroDTLB = 8
+		cfg.MicroDTLB = DefaultMicroDTLB
 	}
 	if cfg.MainDTLB == 0 {
 		cfg.MainDTLB = 512
@@ -213,6 +228,37 @@ func (m *Machine) Mem() *Memory { return m.mem }
 // Strand returns strand i for pre-run configuration (it must not be driven
 // outside Run).
 func (m *Machine) Strand(i int) *Strand { return m.strands[i] }
+
+// AttachTracer points every strand's trace hook at t (nil detaches).
+// Attaching a tracer does not change a run's virtual-time behaviour in any
+// way; it only records what happened.
+func (m *Machine) AttachTracer(t *obs.Tracer) {
+	m.trc = t
+	for _, s := range m.strands {
+		s.trc = t
+	}
+}
+
+// StartTrace attaches a fresh tracer with the given per-strand ring
+// capacity (<=0 selects the obs default) and returns it.
+func (m *Machine) StartTrace(perStrandCap int) *obs.Tracer {
+	t := obs.NewTracer(len(m.strands), perStrandCap)
+	t.SetFreqGHz(m.cfg.Costs.FreqGHz)
+	m.AttachTracer(t)
+	return t
+}
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() *obs.Tracer { return m.trc }
+
+// PublishMetrics registers every strand's event counters with the unified
+// metrics registry under the "sim" subsystem, keyed by strand.
+func (m *Machine) PublishMetrics(reg *obs.Registry) {
+	for _, s := range m.strands {
+		s := s
+		reg.RegisterStrand("sim", s.id, func() obs.Sample { return s.stats.Sample() })
+	}
+}
 
 // Run executes body(strand) on every strand concurrently in virtual time
 // and returns once all bodies have returned. A strand's goroutine runs only

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"rocktm/internal/obs"
+)
 
 // Stats accumulates per-strand event counts for a run.
 type Stats struct {
@@ -15,6 +19,25 @@ type Stats struct {
 	TxBegins    uint64
 	TxCommits   uint64
 	TxAborts    uint64
+}
+
+// Sample returns the counters as a metrics-registry sample — the thin
+// compatibility accessor through which strand statistics publish into the
+// unified obs.Registry.
+func (st Stats) Sample() obs.Sample {
+	return obs.Sample{Counters: []obs.NamedValue{
+		{Name: "loads", Value: st.Loads},
+		{Name: "stores", Value: st.Stores},
+		{Name: "cases", Value: st.CASes},
+		{Name: "l1_misses", Value: st.L1Misses},
+		{Name: "l2_misses", Value: st.L2Misses},
+		{Name: "mispredicts", Value: st.Mispredicts},
+		{Name: "tlb_walks", Value: st.TLBWalks},
+		{Name: "page_faults", Value: st.PageFaults},
+		{Name: "tx_begins", Value: st.TxBegins},
+		{Name: "tx_commits", Value: st.TxCommits},
+		{Name: "tx_aborts", Value: st.TxAborts},
+	}}
 }
 
 // Strand is one simulated hardware strand. All of its methods must be
@@ -41,6 +64,13 @@ type Strand struct {
 	tx txnState
 
 	stats Stats
+
+	// trc, when non-nil, receives cycle-timestamped trace events. The only
+	// cost with tracing disabled is one nil-check at each hook point;
+	// recording itself charges no cycles, consumes no simulated randomness
+	// and allocates nothing, so traced runs are cycle-identical to untraced
+	// ones.
+	trc *obs.Tracer
 }
 
 func newStrand(m *Machine, id int) *Strand {
@@ -74,6 +104,16 @@ func (s *Strand) Mem() *Memory { return s.m.mem }
 
 // Stats returns a copy of the strand's event counters.
 func (s *Strand) Stats() Stats { return s.stats }
+
+// TraceEvent records a software-level trace event (lock acquire/release,
+// TM phase transitions, software fallbacks) into the machine's tracer, if
+// one is attached. It charges no cycles and perturbs no simulator state, so
+// instrumented and uninstrumented code run cycle-identically.
+func (s *Strand) TraceEvent(kind obs.EventKind, arg uint64) {
+	if s.trc != nil {
+		s.trc.Record(s.id, s.clock, kind, arg)
+	}
+}
 
 // Rand returns 64 deterministic pseudo-random bits.
 func (s *Strand) Rand() uint64 { return s.rng.Next() }

@@ -1,6 +1,9 @@
 package sim
 
-import "rocktm/internal/cps"
+import (
+	"rocktm/internal/cps"
+	"rocktm/internal/obs"
+)
 
 // CPS bit values used inside the simulator core; they are numerically
 // identical to the cps package's bits (asserted by tests) but kept as plain
@@ -62,6 +65,9 @@ func (s *Strand) TxBegin() {
 	t.lastLoadMissed = false
 	t.reads, t.writes, t.upgrades, t.stackWrites = 0, 0, 0, 0
 	s.stats.TxBegins++
+	if s.trc != nil {
+		s.trc.Record(s.id, s.clock, obs.EvTxBegin, 0)
+	}
 }
 
 // TxActive reports whether a transaction is in flight.
@@ -86,6 +92,9 @@ func (s *Strand) txAbort(reason uint32) {
 	reason |= t.doomed
 	t.doomed = 0
 	t.cpsReg = reason
+	if s.trc != nil {
+		s.trc.Record(s.id, s.clock, obs.EvTxAbort, uint64(reason))
+	}
 	for _, line := range t.marked {
 		s.m.mem.lines[line].marked &^= s.bit
 		s.m.mem.lines[line].written &^= s.bit
@@ -423,6 +432,7 @@ func (s *Strand) TxCommit() bool {
 	if s.checkDoom() {
 		return false
 	}
+	drained := len(t.storeAddrs)
 	for i, a := range t.storeAddrs {
 		line := LineOf(a)
 		s.storeInvalidate(line)
@@ -440,6 +450,9 @@ func (s *Strand) TxCommit() bool {
 	t.active = false
 	t.cpsReg = 0
 	s.stats.TxCommits++
+	if s.trc != nil {
+		s.trc.Record(s.id, s.clock, obs.EvTxCommit, uint64(drained))
+	}
 	return true
 }
 

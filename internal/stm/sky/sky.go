@@ -16,6 +16,7 @@ package sky
 
 import (
 	"rocktm/internal/core"
+	"rocktm/internal/obs"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
@@ -110,10 +111,12 @@ func (y *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 			c.cleanup(false)
 			y.stats.Ops++
 			y.stats.SWCommits++
+			s.TraceEvent(obs.EvSWCommit, 0)
 			return
 		}
 		c.cleanup(true)
 		y.stats.SWAborts++
+		s.TraceEvent(obs.EvSWAbort, 0)
 		core.Backoff(s, attempt)
 	}
 }

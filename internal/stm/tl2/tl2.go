@@ -7,6 +7,7 @@ package tl2
 
 import (
 	"rocktm/internal/core"
+	"rocktm/internal/obs"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
 )
@@ -87,10 +88,12 @@ func (y *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 		if ok && c.commit() {
 			y.stats.Ops++
 			y.stats.SWCommits++
+			s.TraceEvent(obs.EvSWCommit, 0)
 			return
 		}
 		c.releaseLocks(false)
 		y.stats.SWAborts++
+		s.TraceEvent(obs.EvSWAbort, 0)
 		core.Backoff(s, attempt)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
 	"rocktm/internal/locktm"
+	"rocktm/internal/obs"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 )
@@ -205,6 +206,7 @@ func (t *System) executeOn(s *sim.Strand, lock ElidableLock, body func(core.Ctx)
 			}
 		}
 		fellToLock = true
+		s.TraceEvent(obs.EvFallback, uint64(lock.Addr()))
 	}
 	lock.Acquire(s, ro)
 	body(core.Raw{S: s})

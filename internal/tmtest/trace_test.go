@@ -1,0 +1,142 @@
+package tmtest
+
+import (
+	"bytes"
+	"testing"
+
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/sim"
+)
+
+// runTracedTransfers executes a deterministic transfer workload under sys
+// and returns the machine for inspection. When trace is true a tracer is
+// attached before the run.
+func runTracedTransfers(f sysFactory, seed uint64, trace bool) (*sim.Machine, *obs.Tracer) {
+	const (
+		accounts = 16
+		perOps   = 200
+		threads  = 4
+	)
+	m := testMachine(threads, seed)
+	sys := f.build(m)
+	var tr *obs.Tracer
+	if trace {
+		tr = m.StartTrace(0)
+	}
+	base := m.Mem().AllocLines(accounts)
+	for i := 0; i < accounts; i++ {
+		m.Mem().Poke(base+sim.Addr(i), 1000)
+	}
+	m.Run(func(s *sim.Strand) {
+		for op := 0; op < perOps; op++ {
+			from := s.RandIntn(accounts)
+			to := s.RandIntn(accounts)
+			amt := sim.Word(1 + s.RandIntn(10))
+			sys.Atomic(s, func(c core.Ctx) {
+				fv := c.Load(base + sim.Addr(from))
+				tv := c.Load(base + sim.Addr(to))
+				c.Branch(pcTransfer, fv >= amt, true)
+				if fv < amt || from == to {
+					return
+				}
+				c.Store(base+sim.Addr(from), fv-amt)
+				c.Store(base+sim.Addr(to), tv+amt)
+			})
+		}
+	})
+	return m, tr
+}
+
+// TestTracingPreservesVirtualTime is the observer-effect obligation: a
+// traced run must be cycle-for-cycle identical to an untraced one.
+// Recording consumes no simulated cycles and no simulated randomness, so
+// MaxClock must not move when tracing is switched on.
+func TestTracingPreservesVirtualTime(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			plain, _ := runTracedTransfers(f, 99, false)
+			traced, tr := runTracedTransfers(f, 99, true)
+			if plain.MaxClock() != traced.MaxClock() {
+				t.Errorf("tracing perturbed virtual time: untraced MaxClock=%d, traced=%d",
+					plain.MaxClock(), traced.MaxClock())
+			}
+			if tr.Recorded() == 0 {
+				t.Errorf("traced run recorded no events")
+			}
+		})
+	}
+}
+
+// TestTraceStreamDeterministic asserts that two runs with the same seed
+// produce byte-identical merged trace streams (rendered as the plain-text
+// timeline, which includes cycle, strand, kind and detail of every event).
+func TestTraceStreamDeterministic(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			_, tr1 := runTracedTransfers(f, 1234, true)
+			_, tr2 := runTracedTransfers(f, 1234, true)
+			var a, b bytes.Buffer
+			if err := obs.WriteTimeline(&a, tr1.Merged()); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.WriteTimeline(&b, tr2.Merged()); err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() == 0 {
+				t.Fatal("empty trace stream")
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("same-seed runs produced different trace streams (%d vs %d bytes)", a.Len(), b.Len())
+			}
+		})
+	}
+}
+
+// TestRegistryMatchesSystemStats cross-checks the unified metrics registry
+// against the compatibility accessors it wraps: the "ops" counter pulled
+// through a snapshot must equal the system's own Stats, and the simulator's
+// per-strand tx counters must agree with a trace of the same run.
+func TestRegistryMatchesSystemStats(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			const threads = 4
+			m := testMachine(threads, 5)
+			sys := f.build(m)
+			reg := obs.NewRegistry()
+			core.Publish(reg, sys)
+			m.PublishMetrics(reg)
+			tr := m.StartTrace(0)
+			ctr := m.Mem().AllocLines(sim.WordsPerLine)
+			m.Run(func(s *sim.Strand) {
+				for op := 0; op < 100; op++ {
+					sys.Atomic(s, func(c core.Ctx) {
+						c.Store(ctr, c.Load(ctr)+1)
+					})
+				}
+			})
+			snap := reg.Snapshot()
+			ops, ok := snap.Counter(sys.Name(), "ops")
+			if !ok || ops != sys.Stats().Ops {
+				t.Errorf("registry ops = %d (found=%v), system stats Ops = %d", ops, ok, sys.Stats().Ops)
+			}
+			if ops != 100*threads {
+				t.Errorf("ops = %d, want %d", ops, 100*threads)
+			}
+			prof := obs.Attribute(tr.Merged())
+			begins, _ := snap.Counter("sim", "tx_begins")
+			if tr.Dropped() == 0 && begins != prof.Begins {
+				t.Errorf("registry tx_begins = %d, trace begins = %d", begins, prof.Begins)
+			}
+			commits, _ := snap.Counter("sim", "tx_commits")
+			aborts, _ := snap.Counter("sim", "tx_aborts")
+			if tr.Dropped() == 0 && (commits != prof.Commits || aborts != prof.Aborts) {
+				t.Errorf("registry commits/aborts = %d/%d, trace = %d/%d",
+					commits, aborts, prof.Commits, prof.Aborts)
+			}
+		})
+	}
+}
