@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	figures -exp all                 # everything (several minutes)
+//	figures -exp all                 # everything (parallel across host cores)
+//	figures -exp list                # list valid experiment names
 //	figures -exp fig1a,fig2b         # selected experiments
 //	figures -exp fig4 -msf-dim 96    # a bigger roadmap
 //	figures -ops 20000               # more operations per thread
@@ -11,6 +12,16 @@
 //	figures -json                    # one JSON document per figure
 //	figures -exp attrib              # Table-4-style abort attribution
 //	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
+//	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
+//	figures -no-cache                # recompute every cell
+//	figures -cache-dir /tmp/rc       # result cache location
+//	figures -progress                # per-cell progress/ETA on stderr
+//
+// Every experiment decomposes into independent deterministic cells (one
+// simulated machine per (system, threads) pair) that are scheduled onto
+// a host worker pool and memoized in a content-addressed result cache,
+// so unchanged figures re-render instantly and interrupted runs resume.
+// Parallel output is byte-identical to serial output.
 //
 // Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
 // divide inline treemap volano fig4 msfse profile attrib, plus the
@@ -24,22 +35,77 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rocktm/internal/bench"
 	"rocktm/internal/obs"
+	"rocktm/internal/runner"
 )
+
+// experiment is one runnable entry; exactly one of fig/report/lines is
+// produced by run.
+type experiment struct {
+	name string
+	run  func() (*bench.Figure, error)
+}
+
+// experimentNames returns every valid -exp name in display order,
+// including the two non-figure reports.
+func experimentNames(experiments []experiment) []string {
+	names := make([]string, 0, len(experiments)+2)
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	names = append(names, "attrib", "profile")
+	return names
+}
+
+// parseExpFlag validates a comma-separated -exp value against the valid
+// names, returning the selection set (nil means all). Unknown names are
+// an error carrying the full valid list, so a typo never silently skips
+// an experiment.
+func parseExpFlag(value string, valid []string) (map[string]bool, error) {
+	if value == "all" {
+		return nil, nil
+	}
+	validSet := map[string]bool{}
+	for _, n := range valid {
+		validSet[n] = true
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(value, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !validSet[name] {
+			return nil, fmt.Errorf("unknown experiment %q; valid names: %s", name, strings.Join(valid, " "))
+		}
+		selected[name] = true
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiments selected; valid names: %s", strings.Join(valid, " "))
+	}
+	return selected, nil
+}
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
 		opsFlag  = flag.Int("ops", 4000, "operations per thread")
 		thrFlag  = flag.String("threads", "1,2,3,4,6,8,12,16", "thread counts")
 		seedFlag = flag.Uint64("seed", 1, "experiment seed")
 		csvFlag  = flag.Bool("csv", false, "also emit CSV rows")
 		jsonFlag = flag.Bool("json", false, "also emit one JSON document per figure/report")
-		traceFlg = flag.String("trace", "", "write a Chrome trace_event JSON file of every timed run")
+		traceFlg = flag.String("trace", "", "write a Chrome trace_event JSON file of every timed run (forces serial, uncached cells)")
 		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
 		profOps  = flag.Int("profile-ops", 1500, "operations for the Section 6.1 profile")
+
+		parallel = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
+		noCache  = flag.Bool("no-cache", false, "recompute every cell, ignoring and not writing the cache")
+		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
+		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget; an over-budget cell fails alone (0 = none)")
 	)
 	flag.Parse()
 
@@ -48,18 +114,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
-	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag}
+
+	// The orchestrator: worker pool + result cache + learned cost model.
+	pool := &runner.Pool{Workers: *parallel, Timeout: *cellTime}
+	if !*noCache {
+		cache, err := runner.OpenCache(*cacheDir, runner.CacheVersion)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v (continuing uncached)\n", err)
+		} else {
+			pool.Cache = cache
+			pool.Costs = runner.LoadCostModel(*cacheDir)
+		}
+	}
+	reg := obs.NewRegistry()
+	pool.PublishMetrics(reg)
+	if *progress {
+		pool.OnProgress = func(pr runner.Progress) {
+			snap := reg.Snapshot()
+			done, _ := snap.Counter("runner", "jobs_done")
+			total, _ := snap.Counter("runner", "jobs_total")
+			cached, _ := snap.Counter("runner", "jobs_cached")
+			failed, _ := snap.Counter("runner", "jobs_failed")
+			etaMS, _ := snap.Counter("runner", "eta_ms")
+			line := fmt.Sprintf("figures: %d/%d cells (%d cached", done, total, cached)
+			if failed > 0 {
+				line += fmt.Sprintf(", %d failed", failed)
+			}
+			line += fmt.Sprintf(") eta %s  last=%s",
+				(time.Duration(etaMS) * time.Millisecond).Round(time.Second), pr.Last)
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+
+	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag, Runner: pool}
 	var sink *obs.TraceSink
 	if *traceFlg != "" {
 		sink = &obs.TraceSink{}
 		o.Trace = sink
+		if *parallel != 1 {
+			fmt.Fprintln(os.Stderr, "figures: -trace forces serial, uncached cell execution")
+		}
 	}
-	mo := bench.MSFOptions{Width: *msfDim, Height: *msfDim, Threads: threads, Seed: *seedFlag}
+	mo := bench.MSFOptions{Width: *msfDim, Height: *msfDim, Threads: threads, Seed: *seedFlag, Runner: pool}
+	if *traceFlg != "" {
+		mo.Runner = nil // MSF cells are untraced; keep them serial too for reproducible trace files
+	}
 
-	type experiment struct {
-		name string
-		run  func() (*bench.Figure, error)
-	}
 	experiments := []experiment{
 		{"counter", func() (*bench.Figure, error) { return bench.CounterFigure(o) }},
 		{"dcas", func() (*bench.Figure, error) { return bench.DCASFigure(o) }},
@@ -80,23 +180,39 @@ func main() {
 		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
 		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
 	}
+	valid := experimentNames(experiments)
 
-	selected := map[string]bool{}
-	all := *expFlag == "all"
-	for _, name := range strings.Split(*expFlag, ",") {
-		selected[strings.TrimSpace(name)] = true
+	if *expFlag == "list" {
+		for _, n := range valid {
+			fmt.Println(n)
+		}
+		return
+	}
+	selected, err := parseExpFlag(*expFlag, valid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	all := selected == nil
+
+	exitCode := 0
+	defer func() {
+		finishPool(pool)
+		os.Exit(exitCode)
+	}()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		exitCode = 1
 	}
 
-	ran := 0
 	for _, e := range experiments {
 		if !all && !selected[e.name] {
 			continue
 		}
-		ran++
 		fig, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.name, err)
-			os.Exit(1)
+			fail("figures: %s: %v\n", e.name, err)
+			return
 		}
 		fig.Render(os.Stdout)
 		if *csvFlag {
@@ -104,17 +220,16 @@ func main() {
 		}
 		if *jsonFlag {
 			if err := fig.JSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %s: json: %v\n", e.name, err)
-				os.Exit(1)
+				fail("figures: %s: json: %v\n", e.name, err)
+				return
 			}
 		}
 	}
 	if all || selected["attrib"] {
-		ran++
 		rep, err := bench.AttributionReport(o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: attrib: %v\n", err)
-			os.Exit(1)
+			fail("figures: attrib: %v\n", err)
+			return
 		}
 		rep.Render(os.Stdout)
 		if *csvFlag {
@@ -122,39 +237,49 @@ func main() {
 		}
 		if *jsonFlag {
 			if err := rep.JSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: attrib: json: %v\n", err)
-				os.Exit(1)
+				fail("figures: attrib: json: %v\n", err)
+				return
 			}
 		}
 	}
 	if all || selected["profile"] {
-		ran++
 		fmt.Println("== Section 6.1 transaction-failure analysis (single-thread PhTM vs STM replay) ==")
 		for _, line := range bench.ProfileReport(*profOps, nil) {
 			fmt.Println(line)
 		}
 		fmt.Println()
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "figures: no experiment matched %q\n", *expFlag)
-		os.Exit(2)
-	}
 	if sink != nil {
 		f, err := os.Create(*traceFlg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fail("figures: %v\n", err)
+			return
 		}
 		if err := sink.WriteChrome(f); err != nil {
-			fmt.Fprintln(os.Stderr, "figures: trace:", err)
-			os.Exit(1)
+			fail("figures: trace: %v\n", err)
+			return
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "figures: trace:", err)
-			os.Exit(1)
+			fail("figures: trace: %v\n", err)
+			return
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d events from %d runs to %s (load in Perfetto / chrome://tracing)\n",
 			sink.Events(), sink.Runs(), *traceFlg)
+	}
+}
+
+// finishPool persists the learned cost model and surfaces any cache
+// warnings (corrupted entries fell back to recompute).
+func finishPool(pool *runner.Pool) {
+	if pool.Costs != nil {
+		if err := pool.Costs.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: cost model: %v\n", err)
+		}
+	}
+	if pool.Cache != nil {
+		for _, w := range pool.Cache.Warnings() {
+			fmt.Fprintf(os.Stderr, "figures: %s\n", w)
+		}
 	}
 }
 

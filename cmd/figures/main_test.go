@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var testValid = []string{"fig1a", "fig2b", "attrib", "profile"}
+
+// A typo in -exp must be rejected with the full valid list, never
+// silently skipped.
+func TestParseExpFlagRejectsUnknown(t *testing.T) {
+	_, err := parseExpFlag("fig1a,fgi2b", testValid)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"fgi2b"`) {
+		t.Errorf("error does not name the bad experiment: %s", msg)
+	}
+	for _, name := range testValid {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid name %q: %s", name, msg)
+		}
+	}
+}
+
+func TestParseExpFlagSelection(t *testing.T) {
+	sel, err := parseExpFlag("fig1a, attrib", testValid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel["fig1a"] || !sel["attrib"] || sel["fig2b"] {
+		t.Fatalf("bad selection: %v", sel)
+	}
+	if all, err := parseExpFlag("all", testValid); err != nil || all != nil {
+		t.Fatalf("-exp all: sel=%v err=%v", all, err)
+	}
+	if _, err := parseExpFlag(",", testValid); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+// Every name the command documents must be accepted, and the reports
+// must be included in the valid list.
+func TestExperimentNamesIncludeReports(t *testing.T) {
+	names := experimentNames([]experiment{{name: "fig1a"}, {name: "fig4"}})
+	got := strings.Join(names, " ")
+	for _, want := range []string{"fig1a", "fig4", "attrib", "profile"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("experimentNames missing %q: %v", want, names)
+		}
+	}
+}

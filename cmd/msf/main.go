@@ -5,6 +5,7 @@
 //	msf -variant opt-le -threads 8 -dim 128
 //	msf -variant orig-sky -threads 4 -dimacs east-usa.gr
 //	msf -variant opt-le -threads 8 -mode se
+//	msf -variant all -threads 8 -parallel 4   # sweep every variant on the worker pool
 package main
 
 import (
@@ -12,10 +13,12 @@ import (
 	"fmt"
 	"os"
 
+	"rocktm/internal/bench"
 	"rocktm/internal/core"
 	"rocktm/internal/graphgen"
 	"rocktm/internal/locktm"
 	"rocktm/internal/msf"
+	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
 	"rocktm/internal/tle"
@@ -23,15 +26,58 @@ import (
 
 func main() {
 	var (
-		variant = flag.String("variant", "opt-le", "seq | {orig,opt}-{sky,lock,le}")
-		threads = flag.Int("threads", 4, "worker threads")
-		dim     = flag.Int("dim", 64, "synthetic grid dimension")
-		extra   = flag.Float64("extra", 0.05, "extra shortcut-edge fraction")
-		seed    = flag.Uint64("seed", 1, "graph and run seed")
-		dimacs  = flag.String("dimacs", "", "DIMACS .gr file instead of a synthetic graph")
-		modeStr = flag.String("mode", "sse", "chip mode: sse | se")
+		variant  = flag.String("variant", "opt-le", "seq | {orig,opt}-{sky,lock,le} | all (pool-parallel sweep)")
+		threads  = flag.Int("threads", 4, "worker threads")
+		dim      = flag.Int("dim", 64, "synthetic grid dimension")
+		extra    = flag.Float64("extra", 0.05, "extra shortcut-edge fraction")
+		seed     = flag.Uint64("seed", 1, "graph and run seed")
+		dimacs   = flag.String("dimacs", "", "DIMACS .gr file instead of a synthetic graph")
+		modeStr  = flag.String("mode", "sse", "chip mode: sse | se")
+		parallel = flag.Int("parallel", 0, "sweep workers for -variant all (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", runner.DefaultCacheDir, "result cache directory for -variant all")
+		noCache  = flag.Bool("no-cache", false, "recompute every sweep cell")
 	)
 	flag.Parse()
+
+	if *variant == "all" {
+		if *dimacs != "" {
+			fatal(fmt.Errorf("-variant all supports synthetic graphs only"))
+		}
+		mode := sim.SSE
+		if *modeStr == "se" {
+			mode = sim.SE
+		}
+		pool := &runner.Pool{Workers: *parallel}
+		if !*noCache {
+			cache, err := runner.OpenCache(*cacheDir, runner.CacheVersion)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msf: %v (continuing uncached)\n", err)
+			} else {
+				pool.Cache = cache
+				pool.Costs = runner.LoadCostModel(*cacheDir)
+			}
+		}
+		mo := bench.MSFOptions{
+			Width: *dim, Height: *dim, Extra: *extra, Seed: *seed,
+			Threads: []int{*threads}, Mode: mode, Runner: pool,
+		}
+		fig, err := bench.MSFSweepFigure(mo, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fig.Render(os.Stdout)
+		if pool.Costs != nil {
+			if err := pool.Costs.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "msf: cost model: %v\n", err)
+			}
+		}
+		if pool.Cache != nil {
+			for _, w := range pool.Cache.Warnings() {
+				fmt.Fprintf(os.Stderr, "msf: %s\n", w)
+			}
+		}
+		return
+	}
 
 	var n int
 	var edges []graphgen.Edge

@@ -24,33 +24,45 @@ func AblationRetryBudget(o Options) (*Figure, error) {
 		Title:  "Ablation: PhTM hardware-retry budget on Red-Black Tree 2048 keys, 96/2/2",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	cfg := kvConfig{
+		keyRange:  2048,
+		pctLookup: 96,
+		memWords:  1 << 22,
+		build:     rbtreeKV,
+	}
+	var names []string
+	var cells []pointCell
 	for _, budget := range budgets {
 		budget := budget
-		curve := Curve{Name: fmt.Sprintf("budget=%g", budget)}
+		name := fmt.Sprintf("budget=%g", budget)
+		names = append(names, name)
 		for _, th := range o.Threads {
+			th := th
 			sb := SysBuilder{
-				Name: curve.Name,
+				Name: name,
 				Build: func(m *sim.Machine) core.System {
-					cfg := phtm.DefaultConfig()
-					cfg.MaxFailures = budget
-					return phtm.New(m, sky.New(m), cfg)
+					c := phtm.DefaultConfig()
+					c.MaxFailures = budget
+					return phtm.New(m, sky.New(m), c)
 				},
 			}
-			p, err := runKV(o, "ablate-retry", kvConfig{
-				keyRange:  2048,
-				pctLookup: 96,
-				memWords:  1 << 22,
-				build:     rbtreeKV,
-			}, sb, th)
-			if err != nil {
-				return nil, err
-			}
-			curve.Points = append(curve.Points, p)
+			spec := kvSpec(o, "ablate-retry", cfg, name, th)
+			spec.Params["budget"] = fmt.Sprintf("%g", budget)
+			cells = append(cells, pointCell{
+				Spec:    spec,
+				Compute: func() (Point, error) { return runKV(o, "ablate-retry", cfg, sb, th) },
+			})
 		}
+	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
+	for _, curve := range curves {
 		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
 			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", curve.Name, last.Threads, last.Extra))
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
 	return fig, nil
 }
@@ -67,37 +79,52 @@ func AblationUCTIWeight(o Options) (*Figure, error) {
 		Title:  "Ablation: UCTI failure weight in the TLE policy (Java Hashtable, mix 2:6:2)",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, w := range weights {
-		curve := Curve{Name: fmt.Sprintf("ucti=%g", w)}
+		w := w
+		name := fmt.Sprintf("ucti=%g", w)
+		names = append(names, name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<22, o.Seed)
-			pol := tle.DefaultPolicy()
-			pol.UCTIWeight = w
-			vm := jvm.New(m, pol)
-			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
-			var keys []uint64
-			for k := 0; k < keyRange; k += 2 {
-				keys = append(keys, uint64(k))
-			}
-			ht.Prepopulate(m.Mem(), keys, 1)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					key := uint64(s.RandIntn(keyRange))
-					switch r := s.RandIntn(10); {
-					case r < 2:
-						ht.Put(s, key, 1)
-					case r < 8:
-						ht.Get(s, key)
-					default:
-						ht.Remove(s, key)
+			th := th
+			cells = append(cells, pointCell{
+				Spec: o.spec("ablate-ucti", name, th, machineCfg(th, 1<<22, o.Seed),
+					map[string]string{"weight": fmt.Sprintf("%g", w), "keyrange": itoa(keyRange)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<22, o.Seed)
+					pol := tle.DefaultPolicy()
+					pol.UCTIWeight = w
+					vm := jvm.New(m, pol)
+					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
+					var keys []uint64
+					for k := 0; k < keyRange; k += 2 {
+						keys = append(keys, uint64(k))
 					}
-				}
+					ht.Prepopulate(m.Mem(), keys, 1)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							key := uint64(s.RandIntn(keyRange))
+							switch r := s.RandIntn(10); {
+							case r < 2:
+								ht.Put(s, key, 1)
+							case r < 8:
+								ht.Get(s, key)
+							default:
+								ht.Remove(s, key)
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -112,41 +139,55 @@ func AblationThrottle(o Options) (*Figure, error) {
 		Title:  "Extension: adaptive concurrency throttling (TLE, Hashtable 5:0:5, keyrange 8)",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, throttled := range []bool{false, true} {
+		throttled := throttled
 		name := "tle"
 		if throttled {
 			name = "tle+throttle"
 		}
-		curve := Curve{Name: name}
+		names = append(names, name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<22, o.Seed)
-			vm := jvm.New(m, tle.DefaultPolicy())
-			if throttled {
-				vm.SetThrottle(tle.NewThrottle(m))
-			}
-			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
-			var keys []uint64
-			for k := 0; k < keyRange; k += 2 {
-				keys = append(keys, uint64(k))
-			}
-			ht.Prepopulate(m.Mem(), keys, 1)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					key := uint64(s.RandIntn(keyRange))
-					switch r := s.RandIntn(10); {
-					case r < mix.put:
-						ht.Put(s, key, 1)
-					case r < mix.put+mix.get:
-						ht.Get(s, key)
-					default:
-						ht.Remove(s, key)
+			th := th
+			cells = append(cells, pointCell{
+				Spec: o.spec("ablate-throttle", name, th, machineCfg(th, 1<<22, o.Seed),
+					map[string]string{"mix": mix.String(), "keyrange": itoa(keyRange)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<22, o.Seed)
+					vm := jvm.New(m, tle.DefaultPolicy())
+					if throttled {
+						vm.SetThrottle(tle.NewThrottle(m))
 					}
-				}
+					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
+					var keys []uint64
+					for k := 0; k < keyRange; k += 2 {
+						keys = append(keys, uint64(k))
+					}
+					ht.Prepopulate(m.Mem(), keys, 1)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							key := uint64(s.RandIntn(keyRange))
+							switch r := s.RandIntn(10); {
+							case r < mix.put:
+								ht.Put(s, key, 1)
+							case r < mix.put+mix.get:
+								ht.Get(s, key)
+							default:
+								ht.Remove(s, key)
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }

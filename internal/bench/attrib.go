@@ -13,6 +13,7 @@ import (
 	"rocktm/internal/locktm"
 	"rocktm/internal/obs"
 	"rocktm/internal/phtm"
+	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
 	"rocktm/internal/tle"
@@ -61,11 +62,21 @@ func attribSystems() []SysBuilder {
 	}
 }
 
+// attribCell is one attribution cell's cacheable payload: the row plus
+// any per-cell consistency notes (kept together so a cache hit restores
+// the full report, notes included).
+type attribCell struct {
+	Row   AttribRow `json:"row"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
 // AttributionReport runs the Figure 1(a) hash-table workload (key range
 // 256, 0% lookups) under each hardware-capable system at every thread
 // count, with tracing enabled, and folds each run's event stream into an
 // abort-attribution row. The per-run registry snapshot supplies the ops
-// column and a consistency cross-check against the trace.
+// column and a consistency cross-check against the trace. Cells are
+// emitted through the runner like every figure: one independent job per
+// (system, threads), merged in submission order.
 func AttributionReport(o Options) (*AttribReport, error) {
 	o = o.Defaults()
 	cfg := kvConfig{
@@ -75,53 +86,69 @@ func AttributionReport(o Options) (*AttribReport, error) {
 		build:     hashtableKV(1 << 17),
 	}
 	rep := &AttribReport{Title: "Abort attribution (Table 4 style): HashTable keyrange=256, 0% lookups"}
+	var cells []runner.Cell[attribCell]
 	for _, sb := range attribSystems() {
 		for _, th := range o.Threads {
-			m := machineFor(th, cfg.memWords, o.Seed)
-			st := cfg.build(m, cfg.keyRange)
-			sys := sb.Build(m)
-			reg := obs.NewRegistry()
-			core.Publish(reg, sys)
-			m.PublishMetrics(reg)
-			tr := m.StartTrace(o.TraceEvents)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					key := uint64(s.RandIntn(cfg.keyRange))
-					if s.RandIntn(100) < 50 {
-						st.InsertOp(sys, s, key, 1)
-					} else {
-						st.DeleteOp(sys, s, key)
+			sb, th := sb, th
+			spec := kvSpec(o, "attrib", cfg, sb.Name, th)
+			cells = append(cells, runner.Cell[attribCell]{
+				Spec: spec,
+				Compute: func() (attribCell, error) {
+					m := machineFor(th, cfg.memWords, o.Seed)
+					st := cfg.build(m, cfg.keyRange)
+					sys := sb.Build(m)
+					reg := obs.NewRegistry()
+					core.Publish(reg, sys)
+					m.PublishMetrics(reg)
+					tr := m.StartTrace(o.TraceEvents)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							key := uint64(s.RandIntn(cfg.keyRange))
+							if s.RandIntn(100) < 50 {
+								st.InsertOp(sys, s, key, 1)
+							} else {
+								st.DeleteOp(sys, s, key)
+							}
+						}
+					})
+					events := tr.Merged()
+					if o.Trace != nil {
+						o.Trace.Add(fmt.Sprintf("attrib/%s@%dT", sb.Name, th), tr.FreqGHz(), events)
 					}
-				}
+					prof := obs.Attribute(events)
+					snap := reg.Snapshot()
+					ops, _ := snap.Counter(sys.Name(), "ops")
+					out := attribCell{Row: AttribRow{
+						System:    sb.Name,
+						Threads:   th,
+						Ops:       ops,
+						Begins:    prof.Begins,
+						Commits:   prof.Commits,
+						Aborts:    prof.Aborts,
+						Fallbacks: prof.Fallbacks,
+						SWCommits: prof.SWCommits,
+						AbortRate: prof.AbortRate(),
+						CPS:       prof.Hist.Entries(),
+					}}
+					if d := tr.Dropped(); d > 0 {
+						out.Notes = append(out.Notes,
+							fmt.Sprintf("%s@%dT: trace ring dropped %d events; counts undercount", sb.Name, th, d))
+					} else if simBegins, ok := snap.Counter("sim", "tx_begins"); ok && simBegins != prof.Begins {
+						out.Notes = append(out.Notes,
+							fmt.Sprintf("%s@%dT: registry tx_begins=%d disagrees with trace begins=%d", sb.Name, th, simBegins, prof.Begins))
+					}
+					return out, nil
+				},
 			})
-			events := tr.Merged()
-			if o.Trace != nil {
-				o.Trace.Add(fmt.Sprintf("attrib/%s@%dT", sb.Name, th), tr.FreqGHz(), events)
-			}
-			prof := obs.Attribute(events)
-			snap := reg.Snapshot()
-			ops, _ := snap.Counter(sys.Name(), "ops")
-			row := AttribRow{
-				System:    sb.Name,
-				Threads:   th,
-				Ops:       ops,
-				Begins:    prof.Begins,
-				Commits:   prof.Commits,
-				Aborts:    prof.Aborts,
-				Fallbacks: prof.Fallbacks,
-				SWCommits: prof.SWCommits,
-				AbortRate: prof.AbortRate(),
-				CPS:       prof.Hist.Entries(),
-			}
-			rep.Rows = append(rep.Rows, row)
-			if d := tr.Dropped(); d > 0 {
-				rep.Notes = append(rep.Notes,
-					fmt.Sprintf("%s@%dT: trace ring dropped %d events; counts undercount", sb.Name, th, d))
-			} else if simBegins, ok := snap.Counter("sim", "tx_begins"); ok && simBegins != prof.Begins {
-				rep.Notes = append(rep.Notes,
-					fmt.Sprintf("%s@%dT: registry tx_begins=%d disagrees with trace begins=%d", sb.Name, th, simBegins, prof.Begins))
-			}
 		}
+	}
+	results, err := runner.RunCells(o.pool(), cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		rep.Rows = append(rep.Rows, res.Row)
+		rep.Notes = append(rep.Notes, res.Notes...)
 	}
 	return rep, nil
 }

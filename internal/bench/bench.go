@@ -9,11 +9,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
 	"rocktm/internal/obs"
+	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 )
 
@@ -36,7 +38,66 @@ type Options struct {
 	// TraceEvents is the per-strand trace ring capacity (<=0 selects the
 	// obs default).
 	TraceEvents int
+
+	// Runner, when non-nil, executes experiment cells through the
+	// host-parallel orchestrator: a worker pool with longest-expected-first
+	// scheduling plus a content-addressed result cache. Nil runs cells
+	// serially inline. Results are merged in submission order either way,
+	// so parallel figures are byte-identical to serial ones.
+	Runner *runner.Pool
 }
+
+// pool returns the pool cells should run on. Tracing forces inline
+// serial execution: a cache hit would produce no events, and the sink's
+// deposit order must stay deterministic.
+func (o Options) pool() *runner.Pool {
+	if o.Trace != nil {
+		return nil
+	}
+	return o.Runner
+}
+
+// spec canonically identifies one cell of an experiment for the runner's
+// scheduler and cache. cfg must be the exact machine configuration the
+// cell will run under; params carries workload knobs (mixes, key ranges,
+// policy weights) that the machine config cannot see.
+func (o Options) spec(experiment, system string, threads int, cfg sim.Config, params map[string]string) runner.Spec {
+	return runner.Spec{
+		Experiment: experiment,
+		System:     system,
+		Threads:    threads,
+		Ops:        o.OpsPerThread,
+		Seed:       o.Seed,
+		SimDigest:  cfg.Digest(),
+		Params:     params,
+	}
+}
+
+// pointCell is the common experiment cell: one deterministic machine
+// build+run yielding one figure point.
+type pointCell = runner.Cell[Point]
+
+// runPoints executes point-producing cells through the configured pool
+// (or inline) and returns them in submission order.
+func runPoints(o Options, cells []pointCell) ([]Point, error) {
+	return runner.RunCells(o.pool(), cells)
+}
+
+// curveCells assembles a figure's curves from a flat cell slice laid out
+// curve-major: cells[c*len(threads)+t] is curve c at threads[t].
+func curveCells(o Options, names []string, threads []int, cells []pointCell) ([]Curve, error) {
+	points, err := runPoints(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]Curve, len(names))
+	for ci, name := range names {
+		curves[ci] = Curve{Name: name, Points: points[ci*len(threads) : (ci+1)*len(threads)]}
+	}
+	return curves, nil
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
 
 // startTrace attaches a tracer to m when tracing is requested.
 func (o Options) startTrace(m *sim.Machine) *obs.Tracer {
@@ -255,11 +316,18 @@ func summarizeStats(st *core.Stats) string {
 
 var _ = cps.COH // keep the import for documentation references
 
-// machineFor builds the standard experiment machine.
-func machineFor(threads int, memWords int, seed uint64) *sim.Machine {
+// machineCfg is the standard experiment machine configuration; cells
+// derive their cache-key digests from it, so it must be the exact config
+// machineFor instantiates.
+func machineCfg(threads int, memWords int, seed uint64) sim.Config {
 	cfg := sim.DefaultConfig(threads)
 	cfg.MemWords = memWords
 	cfg.Seed = seed
 	cfg.MaxCycles = 1 << 46
-	return sim.New(cfg)
+	return cfg
+}
+
+// machineFor builds the standard experiment machine.
+func machineFor(threads int, memWords int, seed uint64) *sim.Machine {
+	return sim.New(machineCfg(threads, memWords, seed))
 }

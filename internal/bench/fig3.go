@@ -33,31 +33,44 @@ func Fig3a(o Options) (*Figure, error) {
 		Title:  "Figure 3(a) STLVector initsize=100 ctr-range=40 inc:dec:read=20:20:60",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, sb := range systems {
-		curve := Curve{Name: sb.Name}
+		names = append(names, sb.Name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<20, o.Seed)
-			v := vector.New(m, initSize+ctrRange+64, initSize)
-			sys := sb.Build(m)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					r := s.RandIntn(100)
-					idx := s.RandIntn(initSize - ctrRange) // always within the populated prefix
-					switch {
-					case r < 20:
-						sys.Atomic(s, func(c core.Ctx) { v.PushBack(c, sim.Word(i)) })
-					case r < 40:
-						sys.Atomic(s, func(c core.Ctx) { v.PopBack(c) })
-					default:
-						sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, idx) })
-					}
-				}
+			sb, th := sb, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("fig3a", sb.Name, th, machineCfg(th, 1<<20, o.Seed),
+					map[string]string{"initsize": itoa(initSize), "ctrrange": itoa(ctrRange), "retries": itoa(retries)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<20, o.Seed)
+					v := vector.New(m, initSize+ctrRange+64, initSize)
+					sys := sb.Build(m)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							r := s.RandIntn(100)
+							idx := s.RandIntn(initSize - ctrRange) // always within the populated prefix
+							switch {
+							case r < 20:
+								sys.Atomic(s, func(c core.Ctx) { v.PushBack(c, sim.Word(i)) })
+							case r < 40:
+								sys.Atomic(s, func(c core.Ctx) { v.PopBack(c) })
+							default:
+								sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, idx) })
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: sys.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: sys.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -79,20 +92,33 @@ func Fig3b(o Options) (*Figure, error) {
 		Title:  "Figure 3(b) TLE with Hashtable in Java (put:get:remove mixes)",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, mix := range mixes {
 		for _, elide := range []bool{false, true} {
 			label := mix.String() + "-locks"
 			if elide {
 				label = mix.String() + "-TLE"
 			}
-			curve := Curve{Name: label}
+			names = append(names, label)
 			for _, th := range o.Threads {
-				p, _ := runJavaTable(o, th, mix, elide, keyRange)
-				curve.Points = append(curve.Points, p)
+				mix, elide, th := mix, elide, th
+				cells = append(cells, pointCell{
+					Spec: o.spec("fig3b", label, th, machineCfg(th, 1<<22, o.Seed),
+						map[string]string{"mix": mix.String(), "elide": fmt.Sprint(elide), "keyrange": itoa(keyRange)}),
+					Compute: func() (Point, error) {
+						p, _ := runJavaTable(o, th, mix, elide, keyRange)
+						return p, nil
+					},
+				})
 			}
-			fig.Curves = append(fig.Curves, curve)
 		}
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -134,32 +160,45 @@ func DivideHashDemo(o Options) (*Figure, error) {
 		YLabel: "throughput (ops/usec), simulated",
 	}
 	const keyRange = 4096
+	var names []string
+	var cells []pointCell
 	for _, divide := range []bool{false, true} {
 		name := "hash-no-divide"
 		if divide {
 			name = "hash-with-divide"
 		}
-		curve := Curve{Name: name}
+		names = append(names, name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<22, o.Seed)
-			vm := jvm.New(m, tle.DefaultPolicy())
-			ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+64)
-			ht.DivideHash = divide
-			var keys []uint64
-			for k := 0; k < keyRange; k += 2 {
-				keys = append(keys, uint64(k))
-			}
-			ht.Prepopulate(m.Mem(), keys, 1)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					ht.Get(s, uint64(s.RandIntn(keyRange)))
-				}
+			divide, th := divide, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("divide", name, th, machineCfg(th, 1<<22, o.Seed),
+					map[string]string{"keyrange": itoa(keyRange)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<22, o.Seed)
+					vm := jvm.New(m, tle.DefaultPolicy())
+					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+64)
+					ht.DivideHash = divide
+					var keys []uint64
+					for k := 0; k < keyRange; k += 2 {
+						keys = append(keys, uint64(k))
+					}
+					ht.Prepopulate(m.Mem(), keys, 1)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							ht.Get(s, uint64(s.RandIntn(keyRange)))
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -175,43 +214,56 @@ func InlineDemo(o Options) (*Figure, error) {
 		Title:  "Section 7.2 (text): HashMap JIT inlining vs outlined put, TLE, mix 2:6:2",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, outline := range []bool{false, true} {
 		name := "put-inlined"
 		if outline {
 			name = "put-outlined-midrun"
 		}
-		curve := Curve{Name: name}
+		names = append(names, name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<22, o.Seed)
-			vm := jvm.New(m, tle.DefaultPolicy())
-			hm := jcl.NewHashMap(m, vm, 1<<13, keyRange+2*th+64)
-			if outline {
-				hm.PutSite.OutlineAfter = o.OpsPerThread * th / 4
-			}
-			var keys []uint64
-			for k := 0; k < keyRange; k += 2 {
-				keys = append(keys, uint64(k))
-			}
-			hm.Prepopulate(m.Mem(), keys, 1)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					key := uint64(s.RandIntn(keyRange))
-					r := s.RandIntn(10)
-					switch {
-					case r < mix.put:
-						hm.Put(s, key, 1)
-					case r < mix.put+mix.get:
-						hm.Get(s, key)
-					default:
-						hm.Remove(s, key)
+			outline, th := outline, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("inline", name, th, machineCfg(th, 1<<22, o.Seed),
+					map[string]string{"mix": mix.String(), "keyrange": itoa(keyRange)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<22, o.Seed)
+					vm := jvm.New(m, tle.DefaultPolicy())
+					hm := jcl.NewHashMap(m, vm, 1<<13, keyRange+2*th+64)
+					if outline {
+						hm.PutSite.OutlineAfter = o.OpsPerThread * th / 4
 					}
-				}
+					var keys []uint64
+					for k := 0; k < keyRange; k += 2 {
+						keys = append(keys, uint64(k))
+					}
+					hm.Prepopulate(m.Mem(), keys, 1)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							key := uint64(s.RandIntn(keyRange))
+							r := s.RandIntn(10)
+							switch {
+							case r < mix.put:
+								hm.Put(s, key, 1)
+							case r < mix.put+mix.get:
+								hm.Get(s, key)
+							default:
+								hm.Remove(s, key)
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -232,42 +284,55 @@ func TreeMapDemo(o Options) (*Figure, error) {
 		Title:  "Section 7.2 (text): TreeMap under TLE vs locks",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, sc := range scenarios {
 		for _, elide := range []bool{true, false} {
 			name := sc.name + "-locks"
 			if elide {
 				name = sc.name + "-TLE"
 			}
-			curve := Curve{Name: name}
+			names = append(names, name)
 			for _, th := range o.Threads {
-				m := machineFor(th, 1<<22, o.Seed)
-				vm := jvm.New(m, tle.DefaultPolicy())
-				vm.Elide = elide
-				tm := jcl.NewTreeMap(m, vm, sc.keys+2*th+64)
-				var keys []uint64
-				for k := 0; k < sc.keys; k += 2 {
-					keys = append(keys, uint64(k))
-				}
-				tm.Prepopulate(m.Mem(), keys, 1)
-				m.Run(func(s *sim.Strand) {
-					for i := 0; i < o.OpsPerThread; i++ {
-						key := uint64(s.RandIntn(sc.keys))
-						r := s.RandIntn(100)
-						switch {
-						case r < sc.pctWrite/2:
-							tm.Put(s, key, 1)
-						case r < sc.pctWrite:
-							tm.Remove(s, key)
-						default:
-							tm.Get(s, key)
+				sc, elide, th := sc, elide, th
+				cells = append(cells, pointCell{
+					Spec: o.spec("treemap", name, th, machineCfg(th, 1<<22, o.Seed),
+						map[string]string{"keys": itoa(sc.keys), "write": itoa(sc.pctWrite)}),
+					Compute: func() (Point, error) {
+						m := machineFor(th, 1<<22, o.Seed)
+						vm := jvm.New(m, tle.DefaultPolicy())
+						vm.Elide = elide
+						tm := jcl.NewTreeMap(m, vm, sc.keys+2*th+64)
+						var keys []uint64
+						for k := 0; k < sc.keys; k += 2 {
+							keys = append(keys, uint64(k))
 						}
-					}
+						tm.Prepopulate(m.Mem(), keys, 1)
+						m.Run(func(s *sim.Strand) {
+							for i := 0; i < o.OpsPerThread; i++ {
+								key := uint64(s.RandIntn(sc.keys))
+								r := s.RandIntn(100)
+								switch {
+								case r < sc.pctWrite/2:
+									tm.Put(s, key, 1)
+								case r < sc.pctWrite:
+									tm.Remove(s, key)
+								default:
+									tm.Get(s, key)
+								}
+							}
+						})
+						res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+						return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					},
 				})
-				res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-				curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 			}
-			fig.Curves = append(fig.Curves, curve)
 		}
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }

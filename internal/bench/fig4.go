@@ -8,6 +8,7 @@ import (
 	"rocktm/internal/locktm"
 	"rocktm/internal/msf"
 	"rocktm/internal/profile"
+	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
 	"rocktm/internal/tle"
@@ -22,6 +23,11 @@ type MSFOptions struct {
 	Seed          uint64
 	Threads       []int
 	Mode          sim.Mode
+
+	// Runner, when non-nil, executes MSF cells through the host-parallel
+	// orchestrator (worker pool + result cache), exactly like
+	// Options.Runner does for the other figures.
+	Runner *runner.Pool
 }
 
 // Defaults fills unset fields.
@@ -42,6 +48,32 @@ func (o MSFOptions) Defaults() MSFOptions {
 		o.Threads = DefaultThreads
 	}
 	return o
+}
+
+// spec canonically identifies one MSF cell for the runner's scheduler
+// and cache. The machine's memory size is derived from the graph (too
+// expensive to regenerate just for a key), so the digest is taken over
+// the pre-sizing configuration; the graph parameters that drive the
+// sizing are all in Params, and sizing-code changes are covered by the
+// cache-version salt like any other code change.
+func (o MSFOptions) spec(experiment, variant string, threads int) runner.Spec {
+	cfg := sim.DefaultConfig(threads)
+	cfg.Seed = o.Seed
+	cfg.Mode = o.Mode
+	cfg.MaxCycles = 1 << 48
+	return runner.Spec{
+		Experiment: experiment,
+		System:     variant,
+		Threads:    threads,
+		Seed:       o.Seed,
+		SimDigest:  cfg.Digest(),
+		Params: map[string]string{
+			"width":  itoa(o.Width),
+			"height": itoa(o.Height),
+			"extra":  fmt.Sprintf("%g", o.Extra),
+			"mode":   itoa(int(o.Mode)),
+		},
+	}
 }
 
 type msfVariant struct {
@@ -66,6 +98,15 @@ func msfVariants() []msfVariant {
 		{"msf-opt-le", msf.Opt, newLE, false},
 		{"msf-seq", msf.Orig, func(m *sim.Machine) core.System { return locktm.NewSeq() }, true},
 	}
+}
+
+// MSFVariantNames lists the seven variant names in the paper's order.
+func MSFVariantNames() []string {
+	var out []string
+	for _, v := range msfVariants() {
+		out = append(out, v.name)
+	}
+	return out
 }
 
 // msfMemWords sizes simulated memory for a graph.
@@ -98,6 +139,44 @@ func RunMSF(o MSFOptions, v msfVariant, threads int) (float64, string, error) {
 	return m.ElapsedSeconds(), summarizeStats(sys.Stats()), nil
 }
 
+// msfCell wraps one (variant, threads) measurement as a runner cell.
+func msfCell(o MSFOptions, experiment string, v msfVariant, threads int) pointCell {
+	return pointCell{
+		Spec: o.spec(experiment, v.name, threads),
+		Compute: func() (Point, error) {
+			secs, extra, err := RunMSF(o, v, threads)
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{Threads: threads, OpsPerUsec: secs, Extra: extra}, nil
+		},
+	}
+}
+
+// msfCurves runs a set of (name, variant option, thread list) curves
+// through the pool and assembles them in submission order. Curves may
+// have different thread axes (msf-seq only runs at one thread).
+func msfCurves(pool *runner.Pool, curves []struct {
+	name  string
+	cells []pointCell
+}) ([]Curve, error) {
+	var flat []pointCell
+	for _, c := range curves {
+		flat = append(flat, c.cells...)
+	}
+	points, err := runner.RunCells(pool, flat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Curve, len(curves))
+	at := 0
+	for i, c := range curves {
+		out[i] = Curve{Name: c.name, Points: points[at : at+len(c.cells)]}
+		at += len(c.cells)
+	}
+	return out, nil
+}
+
 // Fig4 reconstructs Figure 4: MSF running time (simulated seconds — the
 // paper's y axis is also running time, log scale) for the seven variants.
 func Fig4(o MSFOptions) (*Figure, error) {
@@ -107,22 +186,30 @@ func Fig4(o MSFOptions) (*Figure, error) {
 			o.Width, o.Height, o.Extra*100),
 		YLabel: "running time (simulated seconds; lower is better)",
 	}
+	type curveDef = struct {
+		name  string
+		cells []pointCell
+	}
+	var defs []curveDef
 	for _, v := range msfVariants() {
-		curve := Curve{Name: v.name}
 		threads := o.Threads
 		if v.seqOnly {
 			threads = []int{1}
 		}
+		def := curveDef{name: v.name}
 		for _, th := range threads {
-			secs, extra, err := RunMSF(o, v, th)
-			if err != nil {
-				return nil, err
-			}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: secs, Extra: extra})
+			def.cells = append(def.cells, msfCell(o, "fig4", v, th))
 		}
-		fig.Curves = append(fig.Curves, curve)
+		defs = append(defs, def)
+	}
+	curves, err := msfCurves(o.Runner, defs)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
+	for _, curve := range curves {
 		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
-			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", v.name, last.Threads, last.Extra))
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", curve.Name, last.Threads, last.Extra))
 		}
 	}
 	fig.Notes = append(fig.Notes, "values are RUNNING TIME in simulated seconds, not throughput")
@@ -144,25 +231,85 @@ func SEModeMSF(o MSFOptions) (*Figure, error) {
 			leVariant = v
 		}
 	}
+	type curveDef = struct {
+		name  string
+		cells []pointCell
+	}
+	var defs []curveDef
 	for _, mode := range []sim.Mode{sim.SSE, sim.SE} {
 		name := "SSE"
 		if mode == sim.SE {
 			name = "SE"
 		}
-		curve := Curve{Name: "msf-opt-le-" + name}
 		oo := o
 		oo.Mode = mode
+		def := curveDef{name: "msf-opt-le-" + name}
 		for _, th := range o.Threads {
-			secs, extra, err := RunMSF(oo, leVariant, th)
-			if err != nil {
-				return nil, err
-			}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: secs, Extra: extra})
-			if th == 1 {
-				fig.Notes = append(fig.Notes, fmt.Sprintf("%s single-thread: %s", curve.Name, extra))
+			def.cells = append(def.cells, msfCell(oo, "msfse", leVariant, th))
+		}
+		defs = append(defs, def)
+	}
+	curves, err := msfCurves(o.Runner, defs)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
+	for _, curve := range curves {
+		for _, p := range curve.Points {
+			if p.Threads == 1 && p.Extra != "" {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s single-thread: %s", curve.Name, p.Extra))
 			}
 		}
-		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// MSFSweepFigure runs the named variants (all seven when variants is
+// empty) at every thread count in o.Threads through the orchestrator —
+// this is `cmd/msf -variant all`. msf-seq is pinned to one thread.
+func MSFSweepFigure(o MSFOptions, variants []string) (*Figure, error) {
+	o = o.Defaults()
+	if len(variants) == 0 {
+		variants = MSFVariantNames()
+	}
+	byName := map[string]msfVariant{}
+	for _, v := range msfVariants() {
+		byName[v.name] = v
+	}
+	type curveDef = struct {
+		name  string
+		cells []pointCell
+	}
+	var defs []curveDef
+	for _, name := range variants {
+		v, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown MSF variant %q (valid: %v)", name, MSFVariantNames())
+		}
+		threads := o.Threads
+		if v.seqOnly {
+			threads = []int{1}
+		}
+		def := curveDef{name: v.name}
+		for _, th := range threads {
+			def.cells = append(def.cells, msfCell(o, "msf-sweep", v, th))
+		}
+		defs = append(defs, def)
+	}
+	curves, err := msfCurves(o.Runner, defs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Title: fmt.Sprintf("MSF variant sweep, synthetic roadmap %dx%d grid (+%.0f%% shortcuts)",
+			o.Width, o.Height, o.Extra*100),
+		YLabel: "running time (simulated seconds; lower is better)",
+	}
+	fig.Curves = curves
+	for _, curve := range curves {
+		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", curve.Name, last.Threads, last.Extra))
+		}
 	}
 	return fig, nil
 }

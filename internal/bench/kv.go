@@ -6,6 +6,7 @@ import (
 	"rocktm/internal/core"
 	"rocktm/internal/hashtable"
 	"rocktm/internal/rbtree"
+	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 )
 
@@ -61,21 +62,41 @@ func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (P
 	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
 }
 
-// kvFigure sweeps all systems across the thread axis.
-func kvFigure(o Options, title string, cfg kvConfig) (*Figure, error) {
+// kvSpec identifies one key-value cell for the runner's cache: the exact
+// machine configuration plus the workload knobs the config cannot see.
+func kvSpec(o Options, name string, cfg kvConfig, system string, threads int) runner.Spec {
+	return o.spec(name, system, threads, machineCfg(threads, cfg.memWords, o.Seed), map[string]string{
+		"keyrange": itoa(cfg.keyRange),
+		"lookup":   itoa(cfg.pctLookup),
+	})
+}
+
+// kvFigure sweeps all systems across the thread axis. Each (system,
+// threads) pair is one independent job emitted through the runner; the
+// serial fallback executes the same cells inline in the same order.
+func kvFigure(o Options, name, title string, cfg kvConfig) (*Figure, error) {
 	fig := &Figure{Title: title, YLabel: "throughput (ops/usec), simulated"}
-	for _, sb := range tmSystems() {
-		curve := Curve{Name: sb.Name}
+	systems := tmSystems()
+	var names []string
+	var cells []pointCell
+	for _, sb := range systems {
+		names = append(names, sb.Name)
 		for _, th := range o.Threads {
-			p, err := runKV(o, title, cfg, sb, th)
-			if err != nil {
-				return nil, err
-			}
-			curve.Points = append(curve.Points, p)
+			sb, th := sb, th
+			cells = append(cells, pointCell{
+				Spec:    kvSpec(o, name, cfg, sb.Name, th),
+				Compute: func() (Point, error) { return runKV(o, title, cfg, sb, th) },
+			})
 		}
-		fig.Curves = append(fig.Curves, curve)
+	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
+	for _, curve := range curves {
 		if last := curve.Points[len(curve.Points)-1]; last.Extra != "" {
-			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", sb.Name, last.Threads, last.Extra))
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s @%d threads: %s", curve.Name, last.Threads, last.Extra))
 		}
 	}
 	return fig, nil
@@ -124,7 +145,7 @@ func shuffledEvenKeys(keyRange int, seed uint64) []uint64 {
 // 50% deletes, key range 256.
 func Fig1a(o Options) (*Figure, error) {
 	o = o.Defaults()
-	return kvFigure(o, "Figure 1(a) HashTable keyrange=256, 0% lookups", kvConfig{
+	return kvFigure(o, "fig1a", "Figure 1(a) HashTable keyrange=256, 0% lookups", kvConfig{
 		keyRange:  256,
 		pctLookup: 0,
 		memWords:  1 << 23,
@@ -136,7 +157,7 @@ func Fig1a(o Options) (*Figure, error) {
 // the table no longer fits in the L1, leveling the playing field.
 func Fig1b(o Options) (*Figure, error) {
 	o = o.Defaults()
-	return kvFigure(o, "Figure 1(b) HashTable keyrange=128000, 0% lookups", kvConfig{
+	return kvFigure(o, "fig1b", "Figure 1(b) HashTable keyrange=128000, 0% lookups", kvConfig{
 		keyRange:  128000,
 		pctLookup: 0,
 		memWords:  1 << 24,
@@ -148,7 +169,7 @@ func Fig1b(o Options) (*Figure, error) {
 // 5's text (data not shown in the paper's graphs).
 func Fig1ReadOnly(o Options) (*Figure, error) {
 	o = o.Defaults()
-	return kvFigure(o, "Section 5 (text) HashTable keyrange=256, 100% lookups", kvConfig{
+	return kvFigure(o, "fig1ro", "Section 5 (text) HashTable keyrange=256, 100% lookups", kvConfig{
 		keyRange:  256,
 		pctLookup: 100,
 		memWords:  1 << 23,
@@ -159,7 +180,7 @@ func Fig1ReadOnly(o Options) (*Figure, error) {
 // Fig2a reconstructs Figure 2(a): red-black tree, 128 keys, 100% reads.
 func Fig2a(o Options) (*Figure, error) {
 	o = o.Defaults()
-	return kvFigure(o, "Figure 2(a) Red-Black Tree 128 keys, 100% reads", kvConfig{
+	return kvFigure(o, "fig2a", "Figure 2(a) Red-Black Tree 128 keys, 100% reads", kvConfig{
 		keyRange:  128,
 		pctLookup: 100,
 		memWords:  1 << 22,
@@ -171,7 +192,7 @@ func Fig2a(o Options) (*Figure, error) {
 // deletes — the case where PhTM can fall behind a good STM.
 func Fig2b(o Options) (*Figure, error) {
 	o = o.Defaults()
-	return kvFigure(o, "Figure 2(b) Red-Black Tree 2048 keys, 96% reads 2% ins 2% del", kvConfig{
+	return kvFigure(o, "fig2b", "Figure 2(b) Red-Black Tree 2048 keys, 96% reads 2% ins 2% del", kvConfig{
 		keyRange:  2048,
 		pctLookup: 96,
 		memWords:  1 << 22,

@@ -11,6 +11,18 @@ import (
 	"rocktm/internal/tle"
 )
 
+// counterCfg is the counter experiment's machine configuration: short
+// transactions need fine-grained interleaving (Quantum=8) for the
+// conflict behaviour to be visible.
+func counterCfg(threads int, seed uint64) sim.Config {
+	cfg := sim.DefaultConfig(threads)
+	cfg.MemWords = 1 << 18
+	cfg.Seed = seed
+	cfg.MaxCycles = 1 << 46
+	cfg.Quantum = 8
+	return cfg
+}
+
 // CounterFigure reconstructs the Section 4 counter experiment: CAS-based
 // and HTM-based increments of one shared counter, with and without
 // backoff. The HTM-without-backoff curve shows the requester-wins
@@ -22,33 +34,38 @@ func CounterFigure(o Options) (*Figure, error) {
 		YLabel: "throughput (ops/usec), simulated",
 	}
 	methods := []counter.Method{counter.CAS, counter.CASBackoff, counter.HTM, counter.HTMBackoff}
+	var names []string
+	var cells []pointCell
 	for _, method := range methods {
-		curve := Curve{Name: method.Name()}
+		names = append(names, method.Name())
 		for _, th := range o.Threads {
-			cfg := sim.DefaultConfig(th)
-			cfg.MemWords = 1 << 18
-			cfg.Seed = o.Seed
-			cfg.MaxCycles = 1 << 46
-			// Short transactions need fine-grained interleaving for the
-			// conflict behaviour to be visible.
-			cfg.Quantum = 8
-			m := sim.New(cfg)
-			ctr := counter.New(m)
-			tr := o.startTrace(m)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					ctr.Inc(s, method)
-				}
+			method, th := method, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("counter", method.Name(), th, counterCfg(th, o.Seed), nil),
+				Compute: func() (Point, error) {
+					m := sim.New(counterCfg(th, o.Seed))
+					ctr := counter.New(m)
+					tr := o.startTrace(m)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							ctr.Inc(s, method)
+						}
+					})
+					o.endTrace(tr, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
+					if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
+						return Point{}, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
+					}
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: ctr.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			o.endTrace(tr, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
-			if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
-				return nil, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
-			}
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: ctr.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -81,28 +98,36 @@ func DCASFigure(o Options) (*Figure, error) {
 			return dcas.NewHMList(m, keyRange+o.OpsPerThread*m.Config().Strands+64)
 		}},
 	}
+	var names []string
+	var cells []pointCell
 	for _, b := range builders {
-		curve := Curve{Name: b.name}
+		names = append(names, b.name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<23, o.Seed)
-			set := b.build(m)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					key := uint64(1 + s.RandIntn(keyRange))
-					switch s.RandIntn(3) {
-					case 0:
-						set.Insert(s, key)
-					case 1:
-						set.Remove(s, key)
-					default:
-						set.Contains(s, key)
-					}
-				}
+			b, th := b, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("dcas", b.name, th, machineCfg(th, 1<<23, o.Seed),
+					map[string]string{"keyrange": itoa(keyRange)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<23, o.Seed)
+					set := b.build(m)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							key := uint64(1 + s.RandIntn(keyRange))
+							switch s.RandIntn(3) {
+							case 0:
+								set.Insert(s, key)
+							case 1:
+								set.Remove(s, key)
+							default:
+								set.Contains(s, key)
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
+					return Point{Threads: th, OpsPerUsec: res.throughput()}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput()})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
 	type fifo interface {
 		Enqueue(s *sim.Strand, val sim.Word)
@@ -120,24 +145,34 @@ func DCASFigure(o Options) (*Figure, error) {
 		}},
 	}
 	for _, b := range qbuilders {
-		curve := Curve{Name: b.name}
+		names = append(names, b.name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<23, o.Seed)
-			q := b.build(m)
-			m.Run(func(s *sim.Strand) {
-				for i := 0; i < o.OpsPerThread; i++ {
-					if s.RandIntn(2) == 0 {
-						q.Enqueue(s, sim.Word(i))
-					} else {
-						q.Dequeue(s)
-					}
-				}
+			b, th := b, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("dcas", b.name, th, machineCfg(th, 1<<23, o.Seed), nil),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<23, o.Seed)
+					q := b.build(m)
+					m.Run(func(s *sim.Strand) {
+						for i := 0; i < o.OpsPerThread; i++ {
+							if s.RandIntn(2) == 0 {
+								q.Enqueue(s, sim.Word(i))
+							} else {
+								q.Dequeue(s)
+							}
+						}
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
+					return Point{Threads: th, OpsPerUsec: res.throughput()}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput()})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -160,35 +195,48 @@ func VolanoFigure(o Options) (*Figure, error) {
 		Title:  "Section 7.2 (text) VolanoMark-like chat workload",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	var names []string
+	var cells []pointCell
 	for _, cc := range configs {
-		curve := Curve{Name: cc.name}
+		names = append(names, cc.name)
 		for _, th := range o.Threads {
-			m := machineFor(th, 1<<21, o.Seed)
-			vm := jvm.New(m, tle.DefaultPolicy())
-			vm.EmitTLE = cc.emit
-			vm.Elide = cc.elide
-			srv := chat.NewServer(m, vm, rooms)
-			m.Run(func(s *sim.Strand) {
-				room := s.ID() % rooms
-				srv.Join(s, room)
-				for i := 0; i < o.OpsPerThread; i++ {
-					r := s.RandIntn(100)
-					switch {
-					case r < 10:
-						room = s.RandIntn(rooms)
+			cc, th := cc, th
+			cells = append(cells, pointCell{
+				Spec: o.spec("volano", cc.name, th, machineCfg(th, 1<<21, o.Seed),
+					map[string]string{"rooms": itoa(rooms)}),
+				Compute: func() (Point, error) {
+					m := machineFor(th, 1<<21, o.Seed)
+					vm := jvm.New(m, tle.DefaultPolicy())
+					vm.EmitTLE = cc.emit
+					vm.Elide = cc.elide
+					srv := chat.NewServer(m, vm, rooms)
+					m.Run(func(s *sim.Strand) {
+						room := s.ID() % rooms
 						srv.Join(s, room)
-					case r < 40:
-						srv.Post(s, room, sim.Word(i))
-					default:
-						srv.ReadRecent(s, room, 8)
-					}
-				}
-				srv.Leave(s, room)
+						for i := 0; i < o.OpsPerThread; i++ {
+							r := s.RandIntn(100)
+							switch {
+							case r < 10:
+								room = s.RandIntn(rooms)
+								srv.Join(s, room)
+							case r < 40:
+								srv.Post(s, room, sim.Word(i))
+							default:
+								srv.ReadRecent(s, room, 8)
+							}
+						}
+						srv.Leave(s, room)
+					})
+					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
+					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+				},
 			})
-			res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-			curve.Points = append(curve.Points, Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)})
 		}
-		fig.Curves = append(fig.Curves, curve)
 	}
+	curves, err := curveCells(o, names, o.Threads, cells)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = curves
 	return fig, nil
 }

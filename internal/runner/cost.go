@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// costFile is the cost model's file name inside the cache directory.
+const costFile = "costs.json"
+
+// CostModel learns how long each kind of cell takes on this host and
+// feeds the pool's longest-expected-first schedule, which minimizes the
+// makespan tail (one long cell left for last on an otherwise idle pool).
+//
+// Estimates are an exponentially weighted moving average of measured
+// host seconds keyed by Spec.CostKey (experiment/system/threads/ops), so
+// a `figures` run learns from both its own cells and every prior run
+// that persisted the model.
+type CostModel struct {
+	mu    sync.Mutex
+	path  string // "" = in-memory only
+	ewma  map[string]float64
+	dirty bool
+}
+
+// NewCostModel returns an empty in-memory model.
+func NewCostModel() *CostModel {
+	return &CostModel{ewma: map[string]float64{}}
+}
+
+// LoadCostModel reads the persisted model from dir/costs.json; a missing
+// or corrupted file yields an empty model bound to that path (corruption
+// must never block a sweep).
+func LoadCostModel(dir string) *CostModel {
+	cm := NewCostModel()
+	cm.path = filepath.Join(dir, costFile)
+	raw, err := os.ReadFile(cm.path)
+	if err != nil {
+		return cm
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(raw, &m); err != nil || m == nil {
+		return cm
+	}
+	cm.ewma = m
+	return cm
+}
+
+// Estimate returns the expected host seconds for a cell. Unlearned cells
+// fall back to a work heuristic — threads × ops (cells simulate
+// threads·ops operations and the simulator executes them serially) — so
+// a cold model still orders big cells before small ones.
+func (cm *CostModel) Estimate(spec Spec) float64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if v, ok := cm.ewma[spec.CostKey()]; ok && v > 0 {
+		return v
+	}
+	ops := spec.Ops
+	if ops <= 0 {
+		ops = 1
+	}
+	threads := spec.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	// Arbitrary-but-monotone units; only relative order matters.
+	return 1e-6 * float64(threads) * float64(ops)
+}
+
+// Observe folds one measured cell cost into the model (EWMA, α=0.5: new
+// hosts and new code win quickly over history).
+func (cm *CostModel) Observe(spec Spec, hostSeconds float64) {
+	if hostSeconds <= 0 {
+		return
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	k := spec.CostKey()
+	if old, ok := cm.ewma[k]; ok {
+		cm.ewma[k] = 0.5*old + 0.5*hostSeconds
+	} else {
+		cm.ewma[k] = hostSeconds
+	}
+	cm.dirty = true
+}
+
+// Save persists the model next to the cache (no-op for in-memory models
+// or when nothing changed). Errors are returned but callers may ignore
+// them: the model is an optimization, not a correctness input.
+func (cm *CostModel) Save() error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if cm.path == "" || !cm.dirty {
+		return nil
+	}
+	raw, err := json.MarshalIndent(cm.ewma, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := cm.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, cm.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	cm.dirty = false
+	return nil
+}

@@ -8,6 +8,35 @@ import "testing"
 // Config that left MicroDTLB unset simulated a machine with 8x the
 // store-TLB pressure (and thus wildly more ST-flagged transaction
 // failures) than the documented default. Both paths must agree.
+// TestConfigDigest pins the properties the experiment runner's cache
+// keys depend on: the digest is stable for equal configs and changes
+// when any behaviour-relevant field changes — including cost-table
+// entries, which live in a nested struct.
+func TestConfigDigest(t *testing.T) {
+	base := DefaultConfig(4)
+	if base.Digest() != DefaultConfig(4).Digest() {
+		t.Fatal("equal configs produced different digests")
+	}
+	mutations := map[string]func(*Config){
+		"strands":  func(c *Config) { c.Strands = 8 },
+		"memwords": func(c *Config) { c.MemWords = 1 << 23 },
+		"mode":     func(c *Config) { c.Mode = SE },
+		"seed":     func(c *Config) { c.Seed = 7 },
+		"quantum":  func(c *Config) { c.Quantum = 8 },
+		"l1sets":   func(c *Config) { c.L1Sets = 256 },
+		"sq/bank":  func(c *Config) { c.StoreQueuePerBank = 4 },
+		"cost":     func(c *Config) { c.Costs.L2Hit = 99 },
+		"ucti":     func(c *Config) { c.UCTIAbortProb = 0.99 },
+	}
+	for name, mutate := range mutations {
+		c := DefaultConfig(4)
+		mutate(&c)
+		if c.Digest() == base.Digest() {
+			t.Errorf("changing %s did not change the config digest", name)
+		}
+	}
+}
+
 func TestMicroDTLBDefaultsConsistent(t *testing.T) {
 	def := DefaultConfig(1)
 	if def.MicroDTLB != DefaultMicroDTLB {

@@ -15,6 +15,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"rocktm/internal/obs"
@@ -132,6 +134,15 @@ func DefaultConfig(n int) Config {
 		UCTIAbortProb:      0.15,
 		StoreAfterMissProb: 0.3,
 	}
+}
+
+// Digest returns a short content hash of the full configuration — every
+// field that can change simulated behaviour, including the cost table.
+// The experiment runner folds it into cache keys so a result computed
+// under one machine configuration is never served for another.
+func (c Config) Digest() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
+	return hex.EncodeToString(h[:8])
 }
 
 func (c *Config) storeQueuePerBank() int {
