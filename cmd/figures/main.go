@@ -33,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -101,6 +104,9 @@ func main() {
 		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
 		profOps  = flag.Int("profile-ops", 1500, "operations for the Section 6.1 profile")
 
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file (forces serial, uncached cells)")
+		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file (forces serial, uncached cells)")
+
 		parallel = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
 		noCache  = flag.Bool("no-cache", false, "recompute every cell, ignoring and not writing the cache")
@@ -109,10 +115,65 @@ func main() {
 	)
 	flag.Parse()
 
+	// Each experiment cell builds a fresh simulated machine whose word
+	// array and cache/TLB state are tens of megabytes of short-lived,
+	// pointer-free memory. The default GOGC=100 triggers a collection
+	// roughly once per cell for no recoverable benefit; quadrupling the
+	// target heap growth cuts several GC cycles from a full run while
+	// keeping the peak heap bounded (cells are serialized per worker).
+	// An explicit GOGC environment setting still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
 	threads, err := parseThreads(*thrFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
+	}
+
+	// Profiles only make sense on the serial, uncached path: pool workers
+	// interleave cells and cache hits run nothing. stopProfiles is invoked
+	// explicitly on the exit path (main exits via os.Exit inside a defer,
+	// which would skip ordinary deferred profile flushes).
+	stopProfiles := func() {}
+	if *cpuProf != "" || *memProf != "" {
+		if *parallel != 1 || !*noCache {
+			fmt.Fprintln(os.Stderr, "figures: profiling forces serial, uncached cell execution")
+		}
+		*parallel = 1
+		*noCache = true
+		cpuPath, memPath := *cpuProf, *memProf
+		if cpuPath != "" {
+			f, err := os.Create(cpuPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+		}
+		stopProfiles = func() {
+			if cpuPath != "" {
+				pprof.StopCPUProfile()
+				fmt.Fprintf(os.Stderr, "figures: wrote CPU profile to %s (go tool pprof %s)\n", cpuPath, cpuPath)
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+					return
+				}
+				runtime.GC() // flush the final heap state into the profile
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "figures: wrote allocation profile to %s\n", memPath)
+			}
+		}
 	}
 
 	// The orchestrator: worker pool + result cache + learned cost model.
@@ -198,6 +259,7 @@ func main() {
 	exitCode := 0
 	defer func() {
 		finishPool(pool)
+		stopProfiles()
 		os.Exit(exitCode)
 	}()
 	fail := func(format string, args ...any) {

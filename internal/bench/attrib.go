@@ -102,12 +102,13 @@ func AttributionReport(o Options) (*AttribReport, error) {
 					m.PublishMetrics(reg)
 					tr := m.StartTrace(o.TraceEvents)
 					m.Run(func(s *sim.Strand) {
+						ses := st.NewSession(sys, s)
 						for i := 0; i < o.OpsPerThread; i++ {
 							key := uint64(s.RandIntn(cfg.keyRange))
 							if s.RandIntn(100) < 50 {
-								st.InsertOp(sys, s, key, 1)
+								ses.Insert(key, 1)
 							} else {
-								st.DeleteOp(sys, s, key)
+								ses.Delete(key)
 							}
 						}
 					})

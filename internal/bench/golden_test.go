@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Figure-level cycle identity: the rendered bytes (table + CSV) of a
+// fig2a cell matrix, the Table-4-style abort-attribution report and a
+// small Figure-4 MSF sweep are pinned against the pre-optimization
+// simulator. Together with internal/sim's TestGoldenCycleIdentity this
+// guarantees PR 3's hot-path work changed no figure output by even one
+// byte. Regenerate (only for an intended modelling change) with:
+//
+//	BENCH_GOLDEN_REGEN=1 go test ./internal/bench -run TestGoldenFigureBytes
+var goldenFigures = []struct {
+	name   string
+	render func() ([]byte, error)
+	digest string
+}{
+	{
+		name: "fig2a",
+		render: func() ([]byte, error) {
+			o := Options{Threads: []int{1, 2, 4, 8}, OpsPerThread: 300, Seed: 1}
+			f, err := Fig2a(o)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			f.Render(&buf)
+			f.CSV(&buf)
+			return buf.Bytes(), nil
+		},
+		digest: "4e173ac43af293cdf96467191d33efa7",
+	},
+	{
+		name: "attrib",
+		render: func() ([]byte, error) {
+			o := Options{Threads: []int{1, 2, 4, 8}, OpsPerThread: 300, Seed: 1}
+			r, err := AttributionReport(o)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			r.Render(&buf)
+			r.CSV(&buf)
+			return buf.Bytes(), nil
+		},
+		digest: "d58d233434a00d471aa7fccef7e07c16",
+	},
+	{
+		name: "fig4-msf",
+		render: func() ([]byte, error) {
+			mo := MSFOptions{Width: 16, Height: 16, Threads: []int{1, 2}, Seed: 1}
+			f, err := Fig4(mo)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			f.Render(&buf)
+			f.CSV(&buf)
+			return buf.Bytes(), nil
+		},
+		digest: "2bad19ae47781ac3fa00df620f477234",
+	},
+}
+
+func TestGoldenFigureBytes(t *testing.T) {
+	regen := os.Getenv("BENCH_GOLDEN_REGEN") != ""
+	for _, g := range goldenFigures {
+		out, err := g.render()
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		sum := sha256.Sum256(out)
+		digest := hex.EncodeToString(sum[:16])
+		if regen {
+			fmt.Printf("\t%s: digest: %q,\n", g.name, digest)
+			continue
+		}
+		if digest != g.digest {
+			t.Errorf("%s: rendered bytes changed: digest %s, pinned %s\n--- got output ---\n%s",
+				g.name, digest, g.digest, out)
+		}
+	}
+	if regen {
+		t.Fatal("BENCH_GOLDEN_REGEN set: digests printed above; paste and unset")
+	}
+}

@@ -11,11 +11,22 @@ import (
 )
 
 // kvStructure is the surface the hash-table and red-black-tree experiments
-// share: complete operations under a synchronization system.
+// share: complete operations under a synchronization system. NewSession
+// returns a per-strand operation context whose steady-state host cost is
+// allocation-free; it performs the identical simulated operations as the
+// per-call XxxOp wrappers.
 type kvStructure interface {
 	InsertOp(sys core.System, s *sim.Strand, key uint64, val sim.Word) bool
 	DeleteOp(sys core.System, s *sim.Strand, key uint64) bool
 	LookupOp(sys core.System, s *sim.Strand, key uint64) (sim.Word, bool)
+	NewSession(sys core.System, s *sim.Strand) kvSession
+}
+
+// kvSession is the per-strand view of a kvStructure.
+type kvSession interface {
+	Insert(key uint64, val sim.Word) bool
+	Delete(key uint64) bool
+	Lookup(key uint64) (sim.Word, bool)
 }
 
 // kvConfig describes one key-value experiment cell.
@@ -35,16 +46,17 @@ func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (P
 	sys := sb.Build(m)
 	tr := o.startTrace(m)
 	m.Run(func(s *sim.Strand) {
+		ses := st.NewSession(sys, s)
 		for i := 0; i < o.OpsPerThread; i++ {
 			key := uint64(s.RandIntn(cfg.keyRange))
 			r := s.RandIntn(100)
 			switch {
 			case r < cfg.pctLookup:
-				st.LookupOp(sys, s, key)
+				ses.Lookup(key)
 			case r < cfg.pctLookup+(100-cfg.pctLookup)/2:
-				st.InsertOp(sys, s, key, 1)
+				ses.Insert(key, 1)
 			default:
-				st.DeleteOp(sys, s, key)
+				ses.Delete(key)
 			}
 		}
 	})
@@ -102,6 +114,21 @@ func kvFigure(o Options, name, title string, cfg kvConfig) (*Figure, error) {
 	return fig, nil
 }
 
+// htKV and rbKV adapt the concrete structures to kvStructure: Go interfaces
+// have no covariant returns, so the concrete NewSession (returning *Session)
+// needs a one-line wrapper to satisfy the interface.
+type htKV struct{ *hashtable.Table }
+
+func (t htKV) NewSession(sys core.System, s *sim.Strand) kvSession {
+	return t.Table.NewSession(sys, s)
+}
+
+type rbKV struct{ *rbtree.Tree }
+
+func (t rbKV) NewSession(sys core.System, s *sim.Strand) kvSession {
+	return t.Tree.NewSession(sys, s)
+}
+
 func hashtableKV(buckets int) func(m *sim.Machine, keyRange int) kvStructure {
 	return func(m *sim.Machine, keyRange int) kvStructure {
 		t := hashtable.New(m, buckets, keyRange+2*m.Config().Strands+64)
@@ -110,14 +137,14 @@ func hashtableKV(buckets int) func(m *sim.Machine, keyRange int) kvStructure {
 			keys = append(keys, uint64(k))
 		}
 		t.Prepopulate(m.Mem(), keys, 1)
-		return t
+		return htKV{t}
 	}
 }
 
 func rbtreeKV(m *sim.Machine, keyRange int) kvStructure {
 	t := rbtree.New(m, keyRange+2*m.Config().Strands+64)
 	t.Prepopulate(m.Mem(), shuffledEvenKeys(keyRange, 7), 1)
-	return t
+	return rbKV{t}
 }
 
 // shuffledEvenKeys returns every second key in [0, keyRange) in a

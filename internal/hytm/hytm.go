@@ -65,11 +65,14 @@ func (h *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	st := h.stats
 	st.HWBlocks++
 	failScore := 0.0
+	// Bind the hardware attempt once per block, not once per retry, so the
+	// failure loop allocates nothing.
+	hwBody := func(tx *rock.Txn) {
+		body(h.back.HWCtx(tx))
+	}
 	for attempt := 0; failScore < h.cfg.MaxFailures; attempt++ {
 		st.HWAttempts++
-		ok, c := rock.Try(s, func(tx *rock.Txn) {
-			body(h.back.HWCtx(tx))
-		})
+		ok, c := rock.Try(s, hwBody)
 		if ok {
 			st.HWCommits++
 			st.Ops++

@@ -84,14 +84,17 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	if s.Load(p.swMode) == 0 {
 		st.HWBlocks++
 		failScore := 0.0
+		// Bind the hardware attempt once per block, not once per retry, so
+		// the failure loop allocates nothing.
+		hwBody := func(tx *rock.Txn) {
+			if tx.Load(p.swCount) != 0 {
+				tx.Abort() // software stragglers still draining
+			}
+			body(rock.Ctx{T: tx})
+		}
 		for attempt := 0; failScore < p.cfg.MaxFailures; attempt++ {
 			st.HWAttempts++
-			ok, c := rock.Try(s, func(tx *rock.Txn) {
-				if tx.Load(p.swCount) != 0 {
-					tx.Abort() // software stragglers still draining
-				}
-				body(rock.Ctx{T: tx})
-			})
+			ok, c := rock.Try(s, hwBody)
 			if ok {
 				st.HWCommits++
 				st.Ops++

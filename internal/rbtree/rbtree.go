@@ -420,6 +420,77 @@ func (t *Tree) LookupOp(sys core.System, s *sim.Strand, key uint64) (sim.Word, b
 	return v, ok
 }
 
+// Session is a per-strand operation context: it pre-binds one closure per
+// operation kind so the steady-state host cost of a complete operation is
+// allocation-free. The XxxOp wrappers above allocate a fresh closure (plus
+// escaping result boxes) on every call, which at millions of operations per
+// experiment dominated the host allocation profile. A Session performs the
+// *identical* sequence of simulated operations; only the host-side plumbing
+// differs. Sessions must only be used by the strand they were created for.
+type Session struct {
+	t   *Tree
+	sys core.System
+	s   *sim.Strand
+
+	key  uint64
+	node sim.Addr
+
+	v        sim.Word
+	ok       bool
+	inserted bool
+	removed  sim.Addr
+
+	lookupFn func(core.Ctx)
+	insertFn func(core.Ctx)
+	deleteFn func(core.Ctx)
+}
+
+// NewSession builds the reusable operation context for strand s under sys.
+func (t *Tree) NewSession(sys core.System, s *sim.Strand) *Session {
+	ss := &Session{t: t, sys: sys, s: s}
+	ss.lookupFn = func(c core.Ctx) { ss.v, ss.ok = ss.t.Lookup(c, ss.key) }
+	ss.insertFn = func(c core.Ctx) { ss.inserted = ss.t.insert(c, ss.key, ss.node) }
+	ss.deleteFn = func(c core.Ctx) { ss.removed = ss.t.delete(c, ss.key) }
+	return ss
+}
+
+// Lookup is LookupOp through the session's reusable closure.
+func (ss *Session) Lookup(key uint64) (sim.Word, bool) {
+	ss.key = key
+	ss.sys.AtomicRO(ss.s, ss.lookupFn)
+	return ss.v, ss.ok
+}
+
+// Insert is InsertOp through the session's reusable closure.
+func (ss *Session) Insert(key uint64, val sim.Word) bool {
+	t, s := ss.t, ss.s
+	node := t.pool.Get(s)
+	s.Store(node+fKey, key)
+	s.Store(node+fVal, val)
+	s.Store(node+fLeft, 0)
+	s.Store(node+fRight, 0)
+	s.Store(node+fColor, 1)
+	ss.key, ss.node = key, node
+	ss.inserted = false
+	ss.sys.Atomic(s, ss.insertFn)
+	if !ss.inserted {
+		t.pool.Put(s, node)
+	}
+	return ss.inserted
+}
+
+// Delete is DeleteOp through the session's reusable closure.
+func (ss *Session) Delete(key uint64) bool {
+	ss.key = key
+	ss.removed = 0
+	ss.sys.Atomic(ss.s, ss.deleteFn)
+	if ss.removed != 0 {
+		ss.t.pool.Put(ss.s, ss.removed)
+		return true
+	}
+	return false
+}
+
 // Prepopulate inserts keys directly with no cycle accounting (test setup).
 func (t *Tree) Prepopulate(mem *sim.Memory, keys []uint64, val sim.Word) {
 	c := core.Setup{Mem: mem}

@@ -101,25 +101,30 @@ func (t *Txn) Advance(n int64) { t.s.Advance(n) }
 func Try(s *sim.Strand, body func(*Txn)) (committed bool, status cps.Bits) {
 	s.TxBegin()
 	t := Txn{s: s}
-	failed := false
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(txFailed); !ok {
-					panic(r)
-				}
-				failed = true
-			}
-		}()
-		body(&t)
-	}()
-	if failed {
+	if runBody(&t, body) {
 		return false, s.CPS()
 	}
 	if !s.TxCommit() {
 		return false, s.CPS()
 	}
 	return true, 0
+}
+
+// runBody executes one attempt body, converting the txFailed unwind panic
+// into a boolean. It is a top-level function with a named return so the
+// single open-coded defer and its closure stay off the heap (the previous
+// inline func literal allocated a closure pair per attempt).
+func runBody(t *Txn, body func(*Txn)) (failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txFailed); !ok {
+				panic(r)
+			}
+			failed = true
+		}
+	}()
+	body(t)
+	return false
 }
 
 // WarmTLB performs the paper's TLB-warmup idiom on every page overlapping

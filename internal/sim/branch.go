@@ -24,22 +24,25 @@ func newBranchPredictor() *branchPredictor {
 }
 
 // predict records the outcome of the branch at pc and reports whether the
-// prediction was wrong.
-func (b *branchPredictor) predict(pc uint32, taken bool) (mispredict bool) {
+// prediction was wrong. The two outcome arms are fully split (rather than
+// computing the prediction up front and comparing) so the function fits the
+// compiler's inlining budget: it is the single hottest call in tree and
+// list walks, where call overhead rivals the table update itself. Both
+// forms compute the identical counter update, history shift, and
+// mispredict verdict.
+func (b *branchPredictor) predict(pc uint32, taken bool) bool {
 	idx := (pc ^ b.history) & b.mask
 	ctr := b.table[idx]
-	predictTaken := ctr >= 2
-	mispredict = predictTaken != taken
 	if taken {
 		if ctr < 3 {
 			b.table[idx] = ctr + 1
 		}
 		b.history = (b.history<<1 | 1) & b.mask
-	} else {
-		if ctr > 0 {
-			b.table[idx] = ctr - 1
-		}
-		b.history = (b.history << 1) & b.mask
+		return ctr < 2
 	}
-	return mispredict
+	if ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	b.history = (b.history << 1) & b.mask
+	return ctr >= 2
 }

@@ -5,106 +5,153 @@ package sim
 // tracking lives here: a transactionally marked line that gets displaced
 // aborts the transaction with CPS=LD, and five loads mapping to one 4-way
 // set can never all be marked at once (the "cache set test" of Section 3).
+//
+// Sets are powers of two (enforced by sim.New), so set selection is a mask
+// instead of a modulo, and access resolves hit/victim in one pass over the
+// ways instead of the old lookup-then-scan double pass. Victim choice is
+// bit-identical to the original: the *first* invalid way by index wins,
+// then the least-recently-used unmarked way, then the least-recently-used
+// marked way (ages are unique monotonic ticks, so LRU ties cannot occur).
+// l1Slot is one L1 way: tag, transactional mark and LRU timestamp packed
+// into 16 bytes, so a whole 4-way set occupies a single 64-byte host cache
+// line — an access touches one line where the old parallel tag/age/marked
+// arrays touched three.
+type l1Slot struct {
+	tag    int32 // -1 = invalid
+	marked bool
+	age    int64 // LRU timestamp (unique monotonic tick)
+}
+
 type l1Cache struct {
-	sets   int
-	ways   int
-	tags   []int32 // sets*ways entries; -1 = invalid
-	age    []int64 // LRU timestamps
-	marked []bool
-	tick   int64
+	sets    int
+	ways    int
+	setMask int32
+	slots   []l1Slot // sets*ways entries
+	tick    int64
 }
 
 func newL1(sets, ways int) *l1Cache {
 	c := &l1Cache{
-		sets:   sets,
-		ways:   ways,
-		tags:   make([]int32, sets*ways),
-		age:    make([]int64, sets*ways),
-		marked: make([]bool, sets*ways),
+		sets:    sets,
+		ways:    ways,
+		setMask: int32(sets - 1),
+		slots:   make([]l1Slot, sets*ways),
 	}
-	for i := range c.tags {
-		c.tags[i] = -1
+	for i := range c.slots {
+		c.slots[i].tag = -1
 	}
 	return c
 }
 
-// lookup returns the way index holding line, or -1.
+// setBase returns the first slot of line's set.
+func (c *l1Cache) setBase(line int32) int {
+	return int(line&c.setMask) * c.ways
+}
+
+// lookup returns the slot index holding line, or -1.
 func (c *l1Cache) lookup(line int32) int {
-	base := (int(line) % c.sets) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+	base := c.setBase(line)
+	set := c.slots[base : base+c.ways]
+	for w := range set {
+		if set[w].tag == line {
 			return base + w
 		}
 	}
 	return -1
 }
 
-// access touches line, filling it on a miss. It returns:
-//
-//	hit          — whether the line was already present,
-//	evicted      — the line displaced to make room (-1 if none),
-//	evictedMark  — whether the displaced line was transactionally marked,
-//	idx          — the slot now holding the line.
+// touch probes line, refreshing its LRU timestamp on a hit, and returns
+// the slot index holding it or -1. It advances the LRU tick whether or not
+// the probe hits — exactly as the fused access did — so a following
+// fillVictim must NOT advance it again. touch is small enough to inline,
+// which keeps the L1-hit path (the overwhelmingly common case) free of any
+// function-call overhead in Strand.fill.
+func (c *l1Cache) touch(line int32) int {
+	c.tick++
+	base := int(line&c.setMask) * c.ways
+	set := c.slots[base : base+c.ways]
+	for w := range set {
+		if set[w].tag == line {
+			set[w].age = c.tick
+			return base + w
+		}
+	}
+	return -1
+}
+
+// fillVictim installs line after a touch miss (the tick was already
+// advanced by touch), returning the displaced line (-1 if a way was free),
+// whether it was transactionally marked, and the slot now holding line.
 //
 // On a miss with all ways transactionally marked, the LRU *marked* way is
 // displaced — that is the mechanism behind LD aborts: the hardware cannot
-// keep the read set pinned.
-func (c *l1Cache) access(line int32) (hit bool, evicted int32, evictedMark bool, idx int) {
-	c.tick++
-	if i := c.lookup(line); i >= 0 {
-		c.age[i] = c.tick
-		return true, -1, false, i
-	}
-	base := (int(line) % c.sets) * c.ways
-	victim := base
-	victimMarked := true
-	// Prefer the LRU unmarked way; fall back to the LRU marked way.
-	var bestUnmarked, bestMarked = -1, -1
-	for w := base; w < base+c.ways; w++ {
-		if c.tags[w] == -1 {
-			bestUnmarked = w
-			c.age[w] = 0
-			break
+// keep the read set pinned. Victim preference: first invalid way by index,
+// else LRU unmarked, else LRU marked.
+func (c *l1Cache) fillVictim(line int32) (evicted int32, evictedMark bool, idx int) {
+	base := c.setBase(line)
+	set := c.slots[base : base+c.ways]
+	var firstInvalid, bestUnmarked, bestMarked = -1, -1, -1
+	for w := range set {
+		s := &set[w]
+		if s.tag == -1 {
+			if firstInvalid == -1 {
+				firstInvalid = w
+			}
+			continue
 		}
-		if !c.marked[w] {
-			if bestUnmarked == -1 || c.age[w] < c.age[bestUnmarked] {
+		if !s.marked {
+			if bestUnmarked == -1 || s.age < set[bestUnmarked].age {
 				bestUnmarked = w
 			}
-		} else if bestMarked == -1 || c.age[w] < c.age[bestMarked] {
+		} else if bestMarked == -1 || s.age < set[bestMarked].age {
 			bestMarked = w
 		}
 	}
-	if bestUnmarked >= 0 {
-		victim, victimMarked = bestUnmarked, false
-	} else {
-		victim, victimMarked = bestMarked, true
+	victim, victimMarked := firstInvalid, false
+	if victim == -1 {
+		if bestUnmarked >= 0 {
+			victim = bestUnmarked
+		} else {
+			victim, victimMarked = bestMarked, true
+		}
 	}
-	evicted = c.tags[victim]
+	v := &set[victim]
+	evicted = v.tag
 	evictedMark = victimMarked && evicted != -1
-	c.tags[victim] = line
-	c.age[victim] = c.tick
-	c.marked[victim] = false
-	return false, evicted, evictedMark, victim
+	v.tag = line
+	v.age = c.tick
+	v.marked = false
+	return evicted, evictedMark, base + victim
+}
+
+// access touches line, filling it on a miss (touch + fillVictim fused; the
+// hot machine path calls the two halves directly so the hit half inlines).
+func (c *l1Cache) access(line int32) (hit bool, evicted int32, evictedMark bool, idx int) {
+	if i := c.touch(line); i >= 0 {
+		return true, -1, false, i
+	}
+	evicted, evictedMark, idx = c.fillVictim(line)
+	return false, evicted, evictedMark, idx
 }
 
 // invalidate drops line if present, returning (wasPresent, wasMarked).
 func (c *l1Cache) invalidate(line int32) (bool, bool) {
 	if i := c.lookup(line); i >= 0 {
-		m := c.marked[i]
-		c.tags[i] = -1
-		c.marked[i] = false
+		m := c.slots[i].marked
+		c.slots[i].tag = -1
+		c.slots[i].marked = false
 		return true, m
 	}
 	return false, false
 }
 
 // mark flags slot idx as transactionally marked.
-func (c *l1Cache) mark(idx int) { c.marked[idx] = true }
+func (c *l1Cache) mark(idx int) { c.slots[idx].marked = true }
 
 // clearMark removes the transactional mark from line if present.
 func (c *l1Cache) clearMark(line int32) {
 	if i := c.lookup(line); i >= 0 {
-		c.marked[i] = false
+		c.slots[i].marked = false
 	}
 }
 
@@ -112,10 +159,11 @@ func (c *l1Cache) clearMark(line int32) {
 // the failure-analysis profiler (Section 6.1 reports the maximum number of
 // read-set lines mapping to a single L1 set).
 func (c *l1Cache) markedCountInSet(line int32) int {
-	base := (int(line) % c.sets) * c.ways
+	base := c.setBase(line)
+	set := c.slots[base : base+c.ways]
 	n := 0
-	for w := base; w < base+c.ways; w++ {
-		if c.marked[w] && c.tags[w] != -1 {
+	for w := range set {
+		if set[w].marked && set[w].tag != -1 {
 			n++
 		}
 	}
@@ -127,23 +175,35 @@ func (c *l1Cache) markedCountInSet(line int32) int {
 // transactionally marked, the owning transaction aborts with CPS=COH — the
 // surprising single-threaded "coherence" failures of Section 3's cache set
 // test (the OS idle loop on a sibling strand displacing L2 lines).
+//
+// Like the L1, set selection is a mask. The victim preference reproduces
+// the original scan exactly — note that it differs from the L1's: the
+// *last* invalid way by index wins (the old loop kept overwriting the
+// victim with each invalid way it passed), else the LRU way.
+// l2Slot packs one L2 way's tag and LRU timestamp (16 bytes), for the
+// same single-pass, cache-line-friendly layout as the L1.
+type l2Slot struct {
+	tag int32 // -1 = invalid
+	age int64
+}
+
 type l2Cache struct {
-	sets int
-	ways int
-	tags []int32
-	age  []int64
-	tick int64
+	sets    int
+	ways    int
+	setMask int32
+	slots   []l2Slot
+	tick    int64
 }
 
 func newL2(sets, ways int) *l2Cache {
 	c := &l2Cache{
-		sets: sets,
-		ways: ways,
-		tags: make([]int32, sets*ways),
-		age:  make([]int64, sets*ways),
+		sets:    sets,
+		ways:    ways,
+		setMask: int32(sets - 1),
+		slots:   make([]l2Slot, sets*ways),
 	}
-	for i := range c.tags {
-		c.tags[i] = -1
+	for i := range c.slots {
+		c.slots[i].tag = -1
 	}
 	return c
 }
@@ -152,22 +212,24 @@ func newL2(sets, ways int) *l2Cache {
 // evicted to make room.
 func (c *l2Cache) access(line int32) (hit bool, evicted int32) {
 	c.tick++
-	base := (int(line) % c.sets) * c.ways
-	victim := base
-	for w := base; w < base+c.ways; w++ {
-		if c.tags[w] == line {
-			c.age[w] = c.tick
+	base := int(line&c.setMask) * c.ways
+	set := c.slots[base : base+c.ways]
+	victim := 0
+	for w := range set {
+		s := &set[w]
+		if s.tag == line {
+			s.age = c.tick
 			return true, -1
 		}
-		if c.tags[w] == -1 {
-			victim = w
-			c.age[victim] = 0
-		} else if c.age[w] < c.age[victim] {
+		if s.tag == -1 {
+			victim = w // last invalid way wins, as in the original scan
+		} else if set[victim].tag != -1 && s.age < set[victim].age {
 			victim = w
 		}
 	}
-	evicted = c.tags[victim]
-	c.tags[victim] = line
-	c.age[victim] = c.tick
+	v := &set[victim]
+	evicted = v.tag
+	v.tag = line
+	v.age = c.tick
 	return false, evicted
 }

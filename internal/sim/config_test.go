@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestMicroDTLBDefaultsConsistent guards against the configuration drift
 // where DefaultConfig advertised a 64-entry micro-DTLB while New's
@@ -34,6 +37,63 @@ func TestConfigDigest(t *testing.T) {
 		if c.Digest() == base.Digest() {
 			t.Errorf("changing %s did not change the config digest", name)
 		}
+	}
+}
+
+// TestNewRejectsNonPowerOfTwoGeometry pins the loud-failure contract the
+// mask-indexing fast paths depend on: every cache/TLB geometry parameter
+// must be a power of two, and the panic message must name the offending
+// field, the bad value, and the next power of two to round up to.
+func TestNewRejectsNonPowerOfTwoGeometry(t *testing.T) {
+	cases := []struct {
+		field   string
+		mutate  func(*Config)
+		wantMsg string
+	}{
+		{"L1Sets", func(c *Config) { c.L1Sets = 100 },
+			"L1Sets must be a power of two for mask indexing, got 100 (round up to 128)"},
+		{"L2Sets", func(c *Config) { c.L2Sets = 5000 },
+			"L2Sets must be a power of two for mask indexing, got 5000 (round up to 8192)"},
+		{"MicroDTLB", func(c *Config) { c.MicroDTLB = 48 },
+			"MicroDTLB must be a power of two for mask indexing, got 48 (round up to 64)"},
+		{"MainDTLB", func(c *Config) { c.MainDTLB = 513 },
+			"MainDTLB must be a power of two for mask indexing, got 513 (round up to 1024)"},
+		{"ITLB", func(c *Config) { c.ITLB = -8 },
+			"ITLB must be a power of two for mask indexing, got -8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.field, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("New accepted non-power-of-two %s", tc.field)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %v (%T), want string", r, r)
+				}
+				if !strings.Contains(msg, tc.wantMsg) {
+					t.Fatalf("panic %q does not contain %q", msg, tc.wantMsg)
+				}
+			}()
+			cfg := DefaultConfig(1)
+			cfg.MemWords = 1 << 16
+			tc.mutate(&cfg)
+			New(cfg)
+		})
+	}
+}
+
+// TestNewAcceptsPowerOfTwoGeometry is the positive half: a non-default but
+// valid power-of-two geometry constructs fine.
+func TestNewAcceptsPowerOfTwoGeometry(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MemWords = 1 << 16
+	cfg.L1Sets, cfg.L2Sets = 256, 8192
+	cfg.MicroDTLB, cfg.MainDTLB, cfg.ITLB = 32, 1024, 128
+	m := New(cfg)
+	if m.Config().L1Sets != 256 {
+		t.Fatalf("config not honoured: L1Sets = %d", m.Config().L1Sets)
 	}
 }
 

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for every simulator hot path touched by PR 3. The
+// scaling benchmarks (TLB entries 64→512, strands 2→16) are the proof
+// that the indexed structures are O(1)/O(log n): ns/op must stay flat
+// where the linear-scan implementation grew linearly.
+//
+// CI runs the whole file once per change (-benchtime=1x smoke) so the
+// suite cannot bit-rot; scripts/bench.sh runs it for real and records
+// the numbers in BENCH_PR3.json.
+
+// ---- TLB ----
+
+// BenchmarkTLBLookupHit measures a hit probing round-robin over every
+// resident page: the linear-scan TLB pays O(entries/2) per probe, an
+// indexed TLB pays O(1).
+func BenchmarkTLBLookupHit(b *testing.B) {
+	for _, entries := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			tb := newTLB(entries)
+			for p := 0; p < entries; p++ {
+				tb.fill(int32(p), 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !tb.lookup(int32(i%entries), 0) {
+					b.Fatal("resident page missed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTLBFillChurn measures steady-state capacity misses: every
+// probe misses and every fill must choose the exact-LRU victim.
+func BenchmarkTLBFillChurn(b *testing.B) {
+	for _, entries := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			tb := newTLB(entries)
+			span := int32(2 * entries) // twice capacity: all misses
+			for p := int32(0); p < span; p++ {
+				tb.fill(p, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := int32(i) % span
+				if !tb.lookup(p, 0) {
+					tb.fill(p, 0)
+				}
+			}
+		})
+	}
+}
+
+// ---- Scheduler ----
+
+// BenchmarkSchedulerHandoff measures one baton handoff (park + pick next
+// + wake) with every advance overrunning the quantum, as strand counts
+// scale. The linear scheduler pays two O(strands) scans per handoff.
+func BenchmarkSchedulerHandoff(b *testing.B) {
+	for _, strands := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("strands=%d", strands), func(b *testing.B) {
+			cfg := DefaultConfig(strands)
+			cfg.MemWords = 1 << 16
+			m := New(cfg)
+			per := b.N/strands + 1
+			step := cfg.Quantum + 1 // every advance crosses the yield threshold
+			b.ReportAllocs()
+			b.ResetTimer()
+			m.Run(func(s *Strand) {
+				for i := 0; i < per; i++ {
+					s.Advance(step)
+				}
+			})
+		})
+	}
+}
+
+// ---- Plain loads and stores ----
+
+// benchMachine1 builds a single-strand machine with a small memory.
+func benchMachine1() *Machine {
+	cfg := DefaultConfig(1)
+	cfg.MemWords = 1 << 20
+	return New(cfg)
+}
+
+// BenchmarkLoadL1Hit is the simplest possible hot path: a warm load
+// (TLB hit, L1 hit, no conflicts).
+func BenchmarkLoadL1Hit(b *testing.B) {
+	m := benchMachine1()
+	a := m.Mem().AllocLines(WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		s.Load(a) // warm
+		for i := 0; i < b.N; i++ {
+			s.Load(a)
+		}
+	})
+}
+
+// BenchmarkLoadTLBChurn strides loads over more pages than the main DTLB
+// holds: every access walks and fills, stressing translation end to end.
+func BenchmarkLoadTLBChurn(b *testing.B) {
+	m := benchMachine1()
+	const pages = 600 // > MainDTLB (512)
+	arena := m.Mem().Alloc(pages*PageWords, PageWords)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		for i := 0; i < b.N; i++ {
+			s.Load(arena + Addr((i%pages)*PageWords))
+		}
+	})
+}
+
+// BenchmarkStoreL1Hit is the warm store path (translation + ownership).
+func BenchmarkStoreL1Hit(b *testing.B) {
+	m := benchMachine1()
+	a := m.Mem().AllocLines(WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		s.Store(a, 0) // warm
+		for i := 0; i < b.N; i++ {
+			s.Store(a, Word(i))
+		}
+	})
+}
+
+// ---- Transactions ----
+
+// BenchmarkTxCommit measures a small read-write transaction (4 loads,
+// 4 stores, commit) on warm lines.
+func BenchmarkTxCommit(b *testing.B) {
+	m := benchMachine1()
+	a := m.Mem().AllocLines(8 * WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		for i := 0; i < 8; i++ { // warm TLB + caches + write permission
+			s.CAS(a+Addr(i*WordsPerLine), 0, 0)
+		}
+		committed := 0
+		for i := 0; i < b.N; i++ {
+			s.TxBegin()
+			ok := true
+			for k := 0; k < 4 && ok; k++ {
+				_, ok = s.TxLoad(a + Addr(k*WordsPerLine))
+			}
+			for k := 4; k < 8 && ok; k++ {
+				ok = s.TxStore(a+Addr(k*WordsPerLine), Word(i))
+			}
+			if ok && s.TxCommit() {
+				committed++
+			}
+		}
+		if committed == 0 && b.N > 8 {
+			b.Error("no transaction ever committed")
+		}
+	})
+}
+
+// BenchmarkTxAbort measures the abort path (begin, one load, explicit
+// abort trap, CPS read).
+func BenchmarkTxAbort(b *testing.B) {
+	m := benchMachine1()
+	a := m.Mem().AllocLines(WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		s.Load(a)
+		for i := 0; i < b.N; i++ {
+			s.TxBegin()
+			if _, ok := s.TxLoad(a); ok {
+				s.TxAbortTrap()
+			}
+			_ = s.CPS()
+		}
+	})
+}
+
+// BenchmarkTxLoadForwarding fills the store queue with stores to
+// distinct lines, then loads each stored address back: every load must
+// forward from the store queue. The linear-scan queue pays O(entries)
+// per forwarded load.
+func BenchmarkTxLoadForwarding(b *testing.B) {
+	m := benchMachine1()
+	const lines = 24 // fits two SSE banks of 16
+	a := m.Mem().AllocLines(lines * WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		for i := 0; i < lines; i++ {
+			s.CAS(a+Addr(i*WordsPerLine), 0, 0)
+		}
+		i := 0
+		for i < b.N {
+			s.TxBegin()
+			ok := true
+			for k := 0; k < lines && ok; k++ {
+				ok = s.TxStore(a+Addr(k*WordsPerLine), Word(k))
+			}
+			for ok && i < b.N {
+				_, ok = s.TxLoad(a + Addr((i%lines)*WordsPerLine))
+				i++
+			}
+			if ok {
+				s.TxCommit()
+			}
+		}
+	})
+}

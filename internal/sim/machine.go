@@ -4,7 +4,7 @@
 // memory, plus the checkpoint-based best-effort hardware transactional
 // memory that the paper studies.
 //
-// Strands are goroutines scheduled cooperatively in virtual-time order: a
+// Strands are coroutines scheduled cooperatively in virtual-time order: a
 // baton is passed so that exactly one strand executes at any moment, and a
 // strand yields the baton whenever its cycle clock runs more than a quantum
 // ahead of the laggard. This gives three properties the experiments need:
@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"iter"
 
 	"rocktm/internal/obs"
 )
@@ -176,11 +177,40 @@ type Machine struct {
 
 	trc *obs.Tracer
 
-	// Scheduler state; only the baton holder touches it.
-	runnable  int
-	parkedMin int64
-	done      chan struct{}
-	running   bool
+	// Mode-dependent queue capacities, resolved once at construction so
+	// the transaction hot paths never re-branch on cfg.Mode.
+	sqPerBank int
+	defQueue  int
+
+	// Scheduler state; only Run's driver goroutine touches it.
+	//
+	// parked is a binary min-heap of parked, not-done strands keyed
+	// (clock, id) — the same total order the old O(strands) minParked scan
+	// imposed (strict < with ascending iteration = lowest id wins ties).
+	// Exactly one strand runs at a time and a parked strand's clock never
+	// changes, so the only operations are push and pop-min: handoffs are
+	// O(log strands) and the hot maybeYield check is a single compare
+	// against the running strand's cached yield deadline.
+	parked  []heapNode
+	running bool
+}
+
+// requirePow2 validates that a geometry parameter is a power of two — the
+// cache set indexes and the free-slot bitmaps rely on mask arithmetic.
+func requirePow2(field string, v int) {
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("sim: %s must be a power of two for mask indexing, got %d (round up to %d)",
+			field, v, nextPow2(v)))
+	}
+}
+
+// nextPow2 returns the smallest power of two >= v (for the panic hint).
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
 }
 
 // New builds a machine. It panics on nonsensical configurations; machines
@@ -216,13 +246,25 @@ func New(cfg Config) *Machine {
 	if cfg.MemWords == 0 {
 		cfg.MemWords = 1 << 22
 	}
+	// The set indexes and TLB free-slot bitmaps use mask arithmetic, which
+	// is only equivalent to the original modulo indexing for power-of-two
+	// geometries. Every real machine (and the paper's Rock) is a power of
+	// two anyway, so reject anything else loudly instead of simulating a
+	// machine subtly different from the one asked for.
+	requirePow2("L1Sets", cfg.L1Sets)
+	requirePow2("L2Sets", cfg.L2Sets)
+	requirePow2("MicroDTLB", cfg.MicroDTLB)
+	requirePow2("MainDTLB", cfg.MainDTLB)
+	requirePow2("ITLB", cfg.ITLB)
 	m := &Machine{
-		cfg:  cfg,
-		mem:  newMemory(cfg.MemWords),
-		l2:   newL2(cfg.L2Sets, cfg.L2Ways),
-		done: make(chan struct{}),
+		cfg:       cfg,
+		mem:       newMemory(cfg.MemWords),
+		l2:        newL2(cfg.L2Sets, cfg.L2Ways),
+		sqPerBank: cfg.storeQueuePerBank(),
+		defQueue:  cfg.deferredQueue(),
 	}
 	m.strands = make([]*Strand, cfg.Strands)
+	m.parked = make([]heapNode, 0, cfg.Strands)
 	for i := range m.strands {
 		m.strands[i] = newStrand(m, i)
 	}
@@ -272,68 +314,172 @@ func (m *Machine) PublishMetrics(reg *obs.Registry) {
 }
 
 // Run executes body(strand) on every strand concurrently in virtual time
-// and returns once all bodies have returned. A strand's goroutine runs only
-// while it holds the baton, so bodies may freely share simulated memory.
-// Run may be called repeatedly; strand clocks, caches and predictors persist
-// across calls (use a fresh Machine for an independent experiment).
+// and returns once all bodies have returned. A strand runs only while it
+// holds the baton, so bodies may freely share simulated memory. Run may be
+// called repeatedly; strand clocks, caches and predictors persist across
+// calls (use a fresh Machine for an independent experiment).
+//
+// Each strand body runs on a coroutine (iter.Pull), and this driver loop
+// resumes whichever parked strand has the lowest (clock, id) — the same
+// handoff decisions the old strand-to-strand channel baton made, executed
+// as direct goroutine switches instead of park/wake round trips through
+// the Go scheduler (~5x cheaper per handoff on a single-core host). A body
+// panic (e.g. the MaxCycles livelock guard) propagates out of Run on the
+// caller's goroutine; iter.Pull likewise forwards runtime.Goexit (t.Fatal
+// inside a body), so Run never deadlocks on a dead strand.
 func (m *Machine) Run(body func(*Strand)) {
 	if m.running {
 		panic("sim: Run re-entered")
 	}
 	m.running = true
-	m.runnable = len(m.strands)
-	m.done = make(chan struct{})
+	m.parked = m.parked[:0]
 	for _, s := range m.strands {
-		s.done = false
 		s.parked = true
-	}
-	for _, s := range m.strands {
-		go func(s *Strand) {
-			<-s.wake
-			// finish must run even if the body panics or exits via
-			// runtime.Goexit (e.g. t.Fatal in a test body), or Run would
-			// block forever waiting for the baton to come home.
-			defer s.finish()
+		m.heapPush(s)
+		s.resume, s.cancel = iter.Pull(func(yield func(struct{}) bool) {
+			s.yield = yield
 			body(s)
-		}(s)
+		})
 	}
-	// Hand the baton to the strand with the lowest clock.
-	first := m.minParked()
-	first.parked = false
-	m.recomputeParkedMin()
-	first.wake <- struct{}{}
-	<-m.done
+	// Hand the baton to the strand with the lowest clock; keep handing it
+	// to the laggard until every body has returned.
+	c := m.heapPop()
+	for {
+		c.parked = false
+		m.grant(c)
+		if _, yielded := c.resume(); yielded {
+			// c's body called yieldBaton: park it, resume the laggard.
+			// heapReplaceMin(c) is the pop-then-push of the old handoff
+			// fused into one sift-down.
+			c.parked = true
+			c = m.heapReplaceMin(c)
+			continue
+		}
+		// c's body returned: retire its coroutine and move on.
+		c.cancel()
+		c.yield = nil
+		if len(m.parked) == 0 {
+			break
+		}
+		c = m.heapPop()
+	}
 	m.running = false
 }
 
-// minParked returns the parked, not-done strand with the lowest clock
-// (ties broken by ID). It must only be called when one exists.
-func (m *Machine) minParked() *Strand {
-	var best *Strand
-	for _, s := range m.strands {
-		if s.done || !s.parked {
-			continue
-		}
-		if best == nil || s.clock < best.clock {
-			best = s
-		}
+// yieldSentinel is the cached yield deadline when no handoff can ever be
+// needed (no parked strand exists): far beyond any reachable clock.
+const yieldSentinel = int64(1) << 62
+
+// grant computes and caches s's yield deadline as it receives the baton:
+// the clock at which it will have run a full quantum ahead of the laggard.
+// Nothing can change the heap while s runs, so the deadline stays valid
+// until s itself parks, finishes, or pops a strand — making the per-advance
+// scheduling check a single compare.
+func (m *Machine) grant(s *Strand) {
+	if len(m.parked) == 0 {
+		// No parked strand ⇔ runnable <= 1: never yield.
+		s.yieldLimit = yieldSentinel
+	} else {
+		s.yieldLimit = int64(m.parked[0].key>>heapIDBits) + m.cfg.Quantum
 	}
-	if best == nil {
-		panic("sim: no parked strand")
-	}
-	return best
+	s.recomputeLimit()
 }
 
-func (m *Machine) recomputeParkedMin() {
-	m.parkedMin = int64(1)<<62 - 1
-	for _, s := range m.strands {
-		if s.done || !s.parked {
-			continue
+// heapNode is one parked strand with its ordering key packed into a
+// single uint64: clock<<6 | id. Because id < MaxStrands = 64 fits in the
+// low 6 bits and clocks are non-negative, unsigned comparison of packed
+// keys is exactly the (clock, id) lexicographic order of the original
+// linear minParked scan — and sift operations compare inline integers
+// instead of chasing two *Strand pointers per step.
+type heapNode struct {
+	key uint64
+	s   *Strand
+}
+
+// heapKey packs s's current (clock, id) ordering key.
+func heapKey(s *Strand) uint64 {
+	return uint64(s.clock)<<heapIDBits | uint64(s.id)
+}
+
+// heapIDBits is the width of the id field in a packed heap key;
+// 1<<heapIDBits must be >= MaxStrands.
+const heapIDBits = 6
+
+// heapPush parks s into the scheduler heap.
+func (m *Machine) heapPush(s *Strand) {
+	h := append(m.parked, heapNode{heapKey(s), s})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[i].key >= h[p].key {
+			break
 		}
-		if s.clock < m.parkedMin {
-			m.parkedMin = s.clock
-		}
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
+	m.parked = h
+}
+
+// heapReplaceMin atomically pops the minimum strand and parks s in its
+// place with a single sift-down — the yield handoff in one heap operation.
+// Because (clock, id) is a strict total order, the sequence of future pops
+// and the identity of parked[0] depend only on the heap's *contents*, not
+// its internal layout, so replace-min is observably identical to the
+// pop-then-push it replaces.
+func (m *Machine) heapReplaceMin(s *Strand) *Strand {
+	h := m.parked
+	n := len(h)
+	top := h[0].s
+	h[0] = heapNode{heapKey(s), s}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].key < h[least].key {
+			least = l
+		}
+		if r < n && h[r].key < h[least].key {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
+// heapPop removes and returns the parked strand with the lowest
+// (clock, id). It must only be called when one exists.
+func (m *Machine) heapPop() *Strand {
+	h := m.parked
+	n := len(h) - 1
+	if n < 0 {
+		panic("sim: no parked strand")
+	}
+	top := h[0].s
+	h[0] = h[n]
+	h[n] = heapNode{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].key < h[least].key {
+			least = l
+		}
+		if r < n && h[r].key < h[least].key {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	m.parked = h
+	return top
 }
 
 // MaxClock returns the largest strand clock — the elapsed virtual time of

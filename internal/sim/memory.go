@@ -52,8 +52,17 @@ type pageMeta struct {
 // coherence directory and the OS page map. All mutation happens under the
 // machine's baton (exactly one strand executes at a time), so no locking is
 // required.
+//
+// The word array and the coherence directory are backed lazily: they only
+// grow (geometrically) to cover the high-water mark of the bump allocator,
+// never to the full configured size. Experiments routinely configure tens
+// of megabytes of simulated memory and touch a fraction of it, and zeroing
+// ~45 MB of backing store per simulated machine dominated the cost of
+// small experiment cells. Untouched simulated memory still reads as zero
+// (Peek bounds-checks), so this is invisible to simulated code.
 type Memory struct {
-	words []Word
+	limit int    // configured capacity, in words (Alloc fails beyond this)
+	words []Word // grows lazily towards limit
 	lines []lineMeta
 	pages []pageMeta
 	next  Addr // bump allocator cursor
@@ -66,16 +75,41 @@ func newMemory(words int) *Memory {
 	// Round up to whole pages.
 	words = (words + PageWords - 1) &^ (PageWords - 1)
 	m := &Memory{
-		words: make([]Word, words),
-		lines: make([]lineMeta, words/WordsPerLine),
+		limit: words,
 		pages: make([]pageMeta, words/PageWords),
 		next:  WordsPerLine, // skip line 0 so Addr 0 stays "null"
 	}
+	m.ensure(PageWords)
 	return m
 }
 
+// ensure grows the word array and coherence directory to cover at least n
+// words (whole pages, geometric growth, capped at the configured size).
+func (m *Memory) ensure(n int) {
+	if n <= len(m.words) {
+		return
+	}
+	grown := len(m.words) * 2
+	if grown < n {
+		grown = n
+	}
+	if grown > m.limit {
+		grown = m.limit
+	}
+	grown = (grown + PageWords - 1) &^ (PageWords - 1)
+	words := make([]Word, grown)
+	copy(words, m.words)
+	m.words = words
+	lines := make([]lineMeta, grown/WordsPerLine)
+	copy(lines, m.lines)
+	m.lines = lines
+}
+
 // Size returns the number of words of simulated memory.
-func (m *Memory) Size() int { return len(m.words) }
+func (m *Memory) Size() int { return m.limit }
+
+// PageCount returns the number of simulated pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
 
 // Alloc hands out n words aligned to align words (align must be a power of
 // two; 0 or 1 means word alignment). The returned range is mapped, walkable
@@ -90,10 +124,11 @@ func (m *Memory) Alloc(n int, align int) Addr {
 		align = 1
 	}
 	a := (m.next + Addr(align) - 1) &^ (Addr(align) - 1)
-	if int(a)+n > len(m.words) {
-		panic(fmt.Sprintf("sim: out of simulated memory (want %d words at %d, have %d)", n, a, len(m.words)))
+	if int(a)+n > m.limit {
+		panic(fmt.Sprintf("sim: out of simulated memory (want %d words at %d, have %d)", n, a, m.limit))
 	}
 	m.next = a + Addr(n)
+	m.ensure(int(m.next))
 	for p := PageOf(a); p <= PageOf(a+Addr(n)-1); p++ {
 		m.pages[p].mapped = true
 		m.pages[p].walkable = true
@@ -122,13 +157,23 @@ func (m *Memory) Remap(a Addr, n int) {
 // Poke writes a word directly, bypassing cost accounting, caches and
 // coherence. It is intended for test setup and data-structure
 // prepopulation before a timed run starts.
-func (m *Memory) Poke(a Addr, w Word) { m.words[a] = w }
+func (m *Memory) Poke(a Addr, w Word) {
+	m.ensure(int(a) + 1)
+	m.words[a] = w
+}
 
 // Peek reads a word directly, bypassing cost accounting and caches. It is
-// intended for validation after a run completes.
-func (m *Memory) Peek(a Addr) Word { return m.words[a] }
+// intended for validation after a run completes. Words beyond the lazy
+// backing's high-water mark have never been written and read as zero.
+func (m *Memory) Peek(a Addr) Word {
+	if int(a) >= len(m.words) {
+		return 0
+	}
+	return m.words[a]
+}
 
 // PokeRange fills [a, a+len(ws)) directly.
 func (m *Memory) PokeRange(a Addr, ws []Word) {
+	m.ensure(int(a) + len(ws))
 	copy(m.words[a:int(a)+len(ws)], ws)
 }

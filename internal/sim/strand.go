@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rocktm/internal/obs"
 )
@@ -50,13 +51,31 @@ type Strand struct {
 	bit uint64
 
 	clock  int64
-	wake   chan struct{}
 	parked bool
-	done   bool
+
+	// Coroutine plumbing, owned by Machine.Run: yield suspends this
+	// strand's body and returns control to the driver loop; resume
+	// re-enters the body; cancel retires the coroutine once the body has
+	// returned.
+	yield  func(struct{}) bool
+	resume func() (struct{}, bool)
+	cancel func()
+
+	// yieldLimit is the cached scheduling deadline, maintained by
+	// Machine.grant whenever this strand receives the baton: once clock
+	// exceeds it, the strand has run a full quantum ahead of the laggard
+	// and must hand the baton over. While the strand runs nothing else can
+	// touch the parked heap, so the hot-path check is one compare.
+	yieldLimit int64
+	// limit folds every per-advance deadline — yieldLimit, the next
+	// interrupt delivery, and the MaxCycles guard — into one value, so the
+	// inlined advance fast path is a single compare. advanceSlow sorts out
+	// which deadline actually fired and recomputes the fold.
+	limit int64
 
 	rng rng
 	l1  *l1Cache
-	mmu *mmu
+	mmu mmu
 	bp  *branchPredictor
 
 	nextInterrupt int64
@@ -75,15 +94,17 @@ type Strand struct {
 
 func newStrand(m *Machine, id int) *Strand {
 	s := &Strand{
-		m:    m,
-		id:   id,
-		bit:  1 << uint(id),
-		wake: make(chan struct{}, 1),
-		rng:  newRNG(m.cfg.Seed*0x9e3779b9 + uint64(id)*0x85ebca77 + 1),
-		l1:   newL1(m.cfg.L1Sets, m.cfg.L1Ways),
-		mmu:  newMMU(m.cfg.MicroDTLB, m.cfg.MainDTLB, m.cfg.ITLB),
-		bp:   newBranchPredictor(),
+		m:   m,
+		id:  id,
+		bit: 1 << uint(id),
+		rng: newRNG(m.cfg.Seed*0x9e3779b9 + uint64(id)*0x85ebca77 + 1),
+		l1:  newL1(m.cfg.L1Sets, m.cfg.L1Ways),
+		bp:  newBranchPredictor(),
 	}
+	s.mmu.init(m.cfg.MicroDTLB, m.cfg.MainDTLB, m.cfg.ITLB)
+	s.mmu.reserve(m.mem.PageCount())
+	s.tx.fwd = newU32Map()
+	s.tx.lineSet = newU32Map()
 	if m.cfg.InterruptEvery > 0 {
 		s.nextInterrupt = m.cfg.InterruptEvery
 	}
@@ -124,8 +145,21 @@ func (s *Strand) RandIntn(n int) int { return s.rng.Intn(n) }
 // Advance charges n cycles of pure compute (no memory traffic).
 func (s *Strand) Advance(n int64) { s.advance(n) }
 
+// advance is the per-event hot path: it is small enough to inline into
+// every memory-operation method, so the common case costs one add and one
+// compare. The checks the old per-advance code did unconditionally
+// (MaxCycles guard, interrupt delivery, yield) all trigger only once clock
+// passes a known deadline, so they fold into the single cached limit.
 func (s *Strand) advance(n int64) {
 	s.clock += n
+	if s.clock > s.limit {
+		s.advanceSlow()
+	}
+}
+
+// advanceSlow handles a crossed deadline, in the same order the checks ran
+// when they were unconditional: MaxCycles guard, interrupt delivery, yield.
+func (s *Strand) advanceSlow() {
 	if max := s.m.cfg.MaxCycles; max > 0 && s.clock > max {
 		panic(fmt.Sprintf("sim: strand %d exceeded MaxCycles=%d (virtual livelock?)", s.id, max))
 	}
@@ -135,38 +169,35 @@ func (s *Strand) advance(n int64) {
 			s.tx.doomed |= asyncBit
 		}
 	}
-	s.maybeYield()
-}
-
-// maybeYield hands the baton to the laggard strand once we have run a full
-// quantum ahead of it.
-func (s *Strand) maybeYield() {
-	m := s.m
-	if m.runnable <= 1 || s.clock <= m.parkedMin+m.cfg.Quantum {
+	if s.clock > s.yieldLimit {
+		// The driver's grant() recomputes the folded limit (after any
+		// nextInterrupt update above) when it resumes us, so there is
+		// nothing left to refresh here.
+		s.yieldBaton()
 		return
 	}
-	next := m.minParked()
-	s.parked = true
-	next.parked = false
-	m.recomputeParkedMin()
-	next.wake <- struct{}{}
-	<-s.wake
+	s.recomputeLimit()
 }
 
-// finish retires the strand at the end of its Run body and passes the baton
-// on (or completes the run).
-func (s *Strand) finish() {
-	m := s.m
-	s.done = true
-	m.runnable--
-	if m.runnable == 0 {
-		close(m.done)
-		return
+// recomputeLimit refreshes the folded advance deadline after any of its
+// inputs (yieldLimit, nextInterrupt) changed.
+func (s *Strand) recomputeLimit() {
+	lim := s.yieldLimit
+	if s.nextInterrupt > 0 && s.nextInterrupt-1 < lim {
+		lim = s.nextInterrupt - 1
 	}
-	next := m.minParked()
-	next.parked = false
-	m.recomputeParkedMin()
-	next.wake <- struct{}{}
+	if max := s.m.cfg.MaxCycles; max > 0 && max < lim {
+		lim = max
+	}
+	s.limit = lim
+}
+
+// yieldBaton hands the baton back to Machine.Run's driver loop once we
+// have run a full quantum ahead of the laggard; the driver parks this
+// strand and resumes the laggard. The call returns when the driver next
+// resumes us.
+func (s *Strand) yieldBaton() {
+	s.yield(struct{}{})
 }
 
 // ---- Translation ----
@@ -176,8 +207,16 @@ func (s *Strand) finish() {
 func (s *Strand) translateLoad(a Addr) {
 	p := PageOf(a)
 	pg := &s.m.mem.pages[p]
-	if s.mmu.micro.lookup(p, pg.gen) || s.mmu.main.lookup(p, pg.gen) {
-		s.fillMicro(p, pg.gen)
+	// A micro-DTLB hit resolves everything; a main-DTLB hit refills the
+	// micro level; otherwise walk (or fault) and fill both. The old code
+	// re-probed the micro TLB after a hit at either level; a lookup that
+	// just hit mutates nothing on re-probe and a lookup that just missed
+	// still misses, so skipping the re-probe is state-identical.
+	if s.mmu.micro.lookup(p, pg.gen) {
+		return
+	}
+	if s.mmu.main.lookup(p, pg.gen) {
+		s.mmu.micro.fill(p, pg.gen)
 		return
 	}
 	if !pg.walkable {
@@ -188,12 +227,6 @@ func (s *Strand) translateLoad(a Addr) {
 	}
 	s.mmu.main.fill(p, pg.gen)
 	s.mmu.micro.fill(p, pg.gen)
-}
-
-func (s *Strand) fillMicro(p int32, gen uint32) {
-	if !s.mmu.micro.lookup(p, gen) {
-		s.mmu.micro.fill(p, gen)
-	}
 }
 
 // translateStore services translation for a store outside a transaction,
@@ -239,12 +272,21 @@ func (s *Strand) pageFault(p int32, write bool) {
 // whether the access hit in L1 and whether a transactionally marked line
 // was displaced to make room.
 func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool) {
-	c := &s.m.cfg.Costs
-	hit, evicted, evMark, idx := s.l1.access(line)
-	if hit {
-		s.clock += c.L1Hit
+	// L1-hit fast path: touch inlines here, so the common case is a masked
+	// index, a short tag scan, and one latency charge.
+	if s.l1.touch(line) >= 0 {
+		s.clock += s.m.cfg.Costs.L1Hit
 		return true, false
 	}
+	return s.fillMiss(line)
+}
+
+// fillMiss services the L1 miss half of fill (the touch above already
+// advanced the L1 LRU tick): pick a victim, consult the shared L2, and
+// maintain the coherence directory.
+func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool) {
+	c := &s.m.cfg.Costs
+	evicted, evMark, _ := s.l1.fillVictim(line)
 	s.stats.L1Misses++
 	if evicted != -1 {
 		s.m.mem.lines[evicted].present &^= s.bit
@@ -262,7 +304,6 @@ func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool) {
 		s.backInvalidate(l2evicted)
 	}
 	s.m.mem.lines[line].present |= s.bit
-	_ = idx
 	return false, evMark
 }
 
@@ -274,10 +315,10 @@ func (s *Strand) backInvalidate(line int32) {
 	if lm.present == 0 {
 		return
 	}
-	for _, t := range s.m.strands {
-		if lm.present&t.bit == 0 {
-			continue
-		}
+	// Iterate only the set bits (ascending strand ID, same order as the
+	// old full scan) instead of all strands.
+	for rest := lm.present; rest != 0; rest &= rest - 1 {
+		t := s.m.strands[bits.TrailingZeros64(rest)]
 		_, wasMarked := t.l1.invalidate(line)
 		if wasMarked || lm.marked&t.bit != 0 {
 			t.doom(cohBit)
@@ -297,10 +338,8 @@ func (s *Strand) storeInvalidate(line int32) {
 	if others == 0 {
 		return
 	}
-	for _, t := range s.m.strands {
-		if others&t.bit == 0 {
-			continue
-		}
+	for rest := others; rest != 0; rest &= rest - 1 {
+		t := s.m.strands[bits.TrailingZeros64(rest)]
 		t.l1.invalidate(line)
 		if lm.marked&t.bit != 0 {
 			t.doom(cohBit)
@@ -319,10 +358,8 @@ func (s *Strand) loadConflict(line int32) {
 	if writers == 0 {
 		return
 	}
-	for _, t := range s.m.strands {
-		if writers&t.bit != 0 {
-			t.doom(cohBit)
-		}
+	for rest := writers; rest != 0; rest &= rest - 1 {
+		s.m.strands[bits.TrailingZeros64(rest)].doom(cohBit)
 	}
 }
 

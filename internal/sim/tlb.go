@@ -1,70 +1,232 @@
 package sim
 
+import "math/bits"
+
+// tlbEntry is one TLB slot. The fields a probe touches (page, gen) share a
+// cache line with the intrusive LRU links so a hit costs one indexed load.
+type tlbEntry struct {
+	page int32  // -1 = free
+	gen  uint32 // page generation at fill time
+	next int32  // next-more-recently-used slot (-1 at head)
+	prev int32  // next-less-recently-used slot (-1 at tail)
+}
+
 // tlb is a fully associative, LRU translation buffer with generation
 // checking: entries become stale when the OS remaps the page (Memory.Remap
 // bumps the page generation), which is how "re-mmap the memory ... has the
 // effect of removing any TLB mappings" (Section 3) is modelled.
+//
+// The implementation is O(1) per probe and per fill, but is constrained to
+// reproduce the original linear-scan implementation's decisions *exactly*
+// (pinned by TestGoldenCycleIdentity):
+//
+//   - a page→slot index replaces the O(entries) probe scan;
+//   - an intrusive doubly-linked list keeps exact LRU order. The old code
+//     stamped a monotonic tick into age[slot] on every touch and evicted
+//     the minimum-age slot; ticks were unique, so min-age is precisely the
+//     list tail;
+//   - a free-slot bitmap reproduces the old "first invalid slot by index"
+//     victim preference (find-first-set = lowest index), which matters
+//     because stale-generation probes punch holes at arbitrary indexes.
 type tlb struct {
-	entries int
-	pageOf  []int32
-	genOf   []uint32
-	age     []int64
-	tick    int64
+	n      int
+	ent    []tlbEntry
+	head   int32    // most recently used slot, -1 when empty
+	tail   int32    // least recently used slot, -1 when empty
+	slotOf []int32  // page -> slot+1 (0 = not resident); grown on demand
+	free   []uint64 // bitmap of free slots
+	nfree  int
 }
 
 func newTLB(entries int) *tlb {
-	t := &tlb{
-		entries: entries,
-		pageOf:  make([]int32, entries),
-		genOf:   make([]uint32, entries),
-		age:     make([]int64, entries),
-	}
-	for i := range t.pageOf {
-		t.pageOf[i] = -1
-	}
+	t := &tlb{}
+	t.init(entries)
 	return t
 }
 
-// lookup reports whether a current-generation mapping for page is present.
-func (t *tlb) lookup(page int32, gen uint32) bool {
-	t.tick++
-	for i := 0; i < t.entries; i++ {
-		if t.pageOf[i] == page {
-			if t.genOf[i] == gen {
-				t.age[i] = t.tick
-				return true
-			}
-			// Stale mapping: drop it.
-			t.pageOf[i] = -1
-			return false
+func (t *tlb) init(entries int) {
+	t.n = entries
+	t.ent = make([]tlbEntry, entries)
+	t.head = -1
+	t.tail = -1
+	t.free = make([]uint64, (entries+63)/64)
+	for i := range t.ent {
+		t.ent[i].page = -1
+	}
+	t.setAllFree()
+}
+
+// reserve pre-sizes the page→slot index so the hot path never grows it.
+func (t *tlb) reserve(pages int) {
+	if pages > len(t.slotOf) {
+		grown := make([]int32, pages)
+		copy(grown, t.slotOf)
+		t.slotOf = grown
+	}
+}
+
+func (t *tlb) setAllFree() {
+	for i := range t.free {
+		t.free[i] = ^uint64(0)
+	}
+	// Mask off the bits beyond the last slot so firstFree never returns one.
+	if rem := t.n % 64; rem != 0 {
+		t.free[len(t.free)-1] = (1 << uint(rem)) - 1
+	}
+	t.nfree = t.n
+}
+
+// firstFree returns the lowest-index free slot; the caller guarantees one
+// exists. This is the old implementation's "first pageOf[i] == -1 wins"
+// victim preference.
+func (t *tlb) firstFree() int32 {
+	for w, word := range t.free {
+		if word != 0 {
+			return int32(w*64 + bits.TrailingZeros64(word))
 		}
 	}
+	panic("sim: tlb.firstFree on full TLB")
+}
+
+// ---- intrusive LRU list (head = MRU, tail = LRU) ----
+
+func (t *tlb) unlink(s int32) {
+	e := &t.ent[s]
+	if e.prev >= 0 {
+		t.ent[e.prev].next = e.next
+	} else {
+		t.tail = e.next
+	}
+	if e.next >= 0 {
+		t.ent[e.next].prev = e.prev
+	} else {
+		t.head = e.prev
+	}
+}
+
+func (t *tlb) pushMRU(s int32) {
+	e := &t.ent[s]
+	e.prev = t.head
+	e.next = -1
+	if t.head >= 0 {
+		t.ent[t.head].next = s
+	} else {
+		t.tail = s
+	}
+	t.head = s
+}
+
+// moveToFront unlinks s — which the caller guarantees is resident and not
+// already the head — and reinstalls it as MRU. This is unlink+pushMRU with
+// the branches those guarantees make impossible removed.
+func (t *tlb) moveToFront(s int32) {
+	e := &t.ent[s]
+	t.ent[e.next].prev = e.prev // e.next >= 0: s is not the head
+	if e.prev >= 0 {
+		t.ent[e.prev].next = e.next
+	} else {
+		t.tail = e.next
+	}
+	e.prev = t.head
+	e.next = -1
+	t.ent[t.head].next = s // head >= 0: the list holds at least s
+	t.head = s
+}
+
+// slot returns the resident slot for page, or -1.
+func (t *tlb) slot(page int32) int32 {
+	if int(page) >= len(t.slotOf) {
+		return -1
+	}
+	return t.slotOf[page] - 1
+}
+
+// drop frees the slot holding page (stale generation or flush).
+func (t *tlb) drop(s int32) {
+	t.slotOf[t.ent[s].page] = 0
+	t.ent[s].page = -1
+	t.unlink(s)
+	t.free[s/64] |= 1 << uint(s%64)
+	t.nfree++
+}
+
+// lookup reports whether a current-generation mapping for page is present.
+// The common cases — the probed page is the most or second-most recently
+// used, which covers code alternating between a data structure's page and
+// a metadata page — are answered without the slot-index probe. A head hit
+// needs no LRU maintenance; a second-position hit performs exactly the
+// unlink+pushMRU that lookupSlow would, so both fast paths leave the TLB
+// in the identical state.
+func (t *tlb) lookup(page int32, gen uint32) bool {
+	if h := t.head; h >= 0 {
+		e := &t.ent[h]
+		if e.page == page && e.gen == gen {
+			return true
+		}
+		if s := e.prev; s >= 0 {
+			if e2 := &t.ent[s]; e2.page == page && e2.gen == gen {
+				t.moveToFront(s)
+				return true
+			}
+		}
+	}
+	return t.lookupSlow(page, gen)
+}
+
+func (t *tlb) lookupSlow(page int32, gen uint32) bool {
+	s := t.slot(page)
+	if s < 0 {
+		return false
+	}
+	if t.ent[s].gen == gen {
+		if t.head != s {
+			t.moveToFront(s)
+		}
+		return true
+	}
+	// Stale mapping: drop it.
+	t.drop(s)
 	return false
 }
 
 // fill installs a mapping for page, evicting the LRU entry if needed.
 func (t *tlb) fill(page int32, gen uint32) {
-	t.tick++
-	victim := 0
-	for i := 0; i < t.entries; i++ {
-		if t.pageOf[i] == page || t.pageOf[i] == -1 {
-			victim = i
-			break
+	if s := t.slot(page); s >= 0 {
+		// Already resident (never reached from the machine paths, which
+		// probe before filling): refresh in place.
+		t.ent[s].gen = gen
+		if t.head != s {
+			t.moveToFront(s)
 		}
-		if t.age[i] < t.age[victim] {
-			victim = i
-		}
+		return
 	}
-	t.pageOf[victim] = page
-	t.genOf[victim] = gen
-	t.age[victim] = t.tick
+	var victim int32
+	if t.nfree > 0 {
+		victim = t.firstFree()
+		t.free[victim/64] &^= 1 << uint(victim%64)
+		t.nfree--
+	} else {
+		victim = t.tail
+		t.slotOf[t.ent[victim].page] = 0
+		t.unlink(victim)
+	}
+	if int(page) >= len(t.slotOf) {
+		t.reserve(int(page) + 1)
+	}
+	t.ent[victim].page = page
+	t.ent[victim].gen = gen
+	t.slotOf[page] = victim + 1
+	t.pushMRU(victim)
 }
 
 // flush drops every entry (used on simulated context switches).
 func (t *tlb) flush() {
-	for i := range t.pageOf {
-		t.pageOf[i] = -1
+	for s := t.head; s >= 0; s = t.ent[s].prev {
+		t.slotOf[t.ent[s].page] = 0
+		t.ent[s].page = -1
 	}
+	t.head, t.tail = -1, -1
+	t.setAllFree()
 }
 
 // mmu bundles a strand's translation state: a small micro-DTLB backed by a
@@ -73,16 +235,25 @@ func (t *tlb) flush() {
 // generates an MMU request, the mapping is established from the higher
 // levels and a retry succeeds — unless no mapping exists at any level, in
 // which case only software TLB warmup (the "dummy CAS" idiom) helps.
+// The three TLBs are embedded by value (and mmu itself is embedded by
+// value in Strand), so a translation probe is one indexed load off the
+// strand rather than a pointer chase per level.
 type mmu struct {
-	micro *tlb
-	main  *tlb
-	itlb  *tlb
+	micro tlb
+	main  tlb
+	itlb  tlb
 }
 
-func newMMU(microEntries, mainEntries, itlbEntries int) *mmu {
-	return &mmu{
-		micro: newTLB(microEntries),
-		main:  newTLB(mainEntries),
-		itlb:  newTLB(itlbEntries),
-	}
+func (u *mmu) init(microEntries, mainEntries, itlbEntries int) {
+	u.micro.init(microEntries)
+	u.main.init(mainEntries)
+	u.itlb.init(itlbEntries)
+}
+
+// reserve pre-sizes every TLB's page index for a machine with the given
+// page count, keeping slotOf growth off the hot path.
+func (u *mmu) reserve(pages int) {
+	u.micro.reserve(pages)
+	u.main.reserve(pages)
+	u.itlb.reserve(pages)
 }

@@ -34,8 +34,15 @@ type txnState struct {
 
 	storeAddrs []Addr
 	storeVals  []Word
-	storeLines []int32 // distinct lines in the store queue (entries coalesce)
 	bankCount  [2]int
+
+	// fwd indexes storeAddrs by address (latest entry wins) so TxLoad's
+	// read-own-writes forwarding is O(1) instead of a queue scan; lineSet
+	// holds the distinct lines in the store queue (entries coalesce at
+	// line granularity) so TxStore's bank-occupancy check is O(1) too.
+	// Both clear in O(1) via epoch bump at TxBegin.
+	fwd     *u32map
+	lineSet *u32map
 
 	deferred       int
 	lastLoadMissed bool
@@ -59,7 +66,8 @@ func (s *Strand) TxBegin() {
 	t.marked = t.marked[:0]
 	t.storeAddrs = t.storeAddrs[:0]
 	t.storeVals = t.storeVals[:0]
-	t.storeLines = t.storeLines[:0]
+	t.fwd.reset()
+	t.lineSet.reset()
 	t.bankCount[0], t.bankCount[1] = 0, 0
 	t.deferred = 0
 	t.lastLoadMissed = false
@@ -103,7 +111,6 @@ func (s *Strand) txAbort(reason uint32) {
 	t.marked = t.marked[:0]
 	t.storeAddrs = t.storeAddrs[:0]
 	t.storeVals = t.storeVals[:0]
-	t.storeLines = t.storeLines[:0]
 	t.active = false
 	s.stats.TxAborts++
 	// A small seeded jitter on the flush penalty models pipeline-timing
@@ -160,20 +167,27 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 	pg := &s.m.mem.pages[p]
 	// Translation: a load whose page has no hardware-walkable mapping takes
 	// a precise exception, aborting with LD|PREC (Section 3, "tlb misses").
-	if !s.mmu.micro.lookup(p, pg.gen) && !s.mmu.main.lookup(p, pg.gen) {
-		if !pg.walkable {
-			s.txAbort(ldBit | precBit)
-			return 0, false
+	// (As in translateLoad, the old code re-probed the micro TLB after a
+	// hit at either level; the re-probe never mutates state, so the split
+	// below is state-identical.)
+	if !s.mmu.micro.lookup(p, pg.gen) {
+		if !s.mmu.main.lookup(p, pg.gen) {
+			if !pg.walkable {
+				s.txAbort(ldBit | precBit)
+				return 0, false
+			}
+			s.clock += s.m.cfg.Costs.TLBWalk
+			s.stats.TLBWalks++
+			s.mmu.main.fill(p, pg.gen)
 		}
-		s.clock += s.m.cfg.Costs.TLBWalk
-		s.stats.TLBWalks++
-		s.mmu.main.fill(p, pg.gen)
+		s.mmu.micro.fill(p, pg.gen)
 	}
-	s.fillMicro(p, pg.gen)
 
-	// Read-own-writes: forward from the store queue if present.
-	for i := len(t.storeAddrs) - 1; i >= 0; i-- {
-		if t.storeAddrs[i] == a {
+	// Read-own-writes: forward from the store queue if present (fwd maps
+	// each address to its latest queue entry, so this matches the old
+	// backwards scan's youngest-store-wins exactly).
+	if len(t.storeAddrs) > 0 {
+		if i, ok := t.fwd.get(uint32(a)); ok {
 			s.clock += s.m.cfg.Costs.L1Hit
 			t.lastLoadMissed = false
 			t.reads++
@@ -191,7 +205,7 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 	}
 	if !hit {
 		t.deferred += s.m.cfg.DeferPerMiss
-		if t.deferred > s.m.cfg.deferredQueue() {
+		if t.deferred > s.m.defQueue {
 			// Too many instructions deferred waiting on cache fills
 			// (CPS=SIZ). The fill above already happened, so a retry
 			// finds the data closer — the effect behind "additional
@@ -280,18 +294,11 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	// why the paper's overflow test stores to 33 *different* lines), and
 	// two banks are selected by a line-address bit; per-bank overflow
 	// aborts with ST|SIZ (the Section 3 "overflow" test).
-	newLine := true
-	for _, sl := range t.storeLines {
-		if sl == line {
-			newLine = false
-			break
-		}
-	}
-	if newLine {
-		t.storeLines = append(t.storeLines, line)
+	if _, seen := t.lineSet.get(uint32(line)); !seen {
+		t.lineSet.put(uint32(line), 0)
 		bank := int(line & 1)
 		t.bankCount[bank]++
-		if t.bankCount[bank] > s.m.cfg.storeQueuePerBank() {
+		if t.bankCount[bank] > s.m.sqPerBank {
 			s.txAbort(stBit | sizBit)
 			return false
 		}
@@ -315,6 +322,7 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 
 	t.storeAddrs = append(t.storeAddrs, a)
 	t.storeVals = append(t.storeVals, w)
+	t.fwd.put(uint32(a), int32(len(t.storeVals)-1))
 	t.writes++
 	return true
 }
@@ -446,7 +454,6 @@ func (s *Strand) TxCommit() bool {
 	t.marked = t.marked[:0]
 	t.storeAddrs = t.storeAddrs[:0]
 	t.storeVals = t.storeVals[:0]
-	t.storeLines = t.storeLines[:0]
 	t.active = false
 	t.cpsReg = 0
 	s.stats.TxCommits++

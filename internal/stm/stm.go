@@ -92,9 +92,10 @@ func Abort() {
 	panic(retrySignal{})
 }
 
-// RunAttempt executes body, converting an stm.Abort unwind into a false
-// return.
-func RunAttempt(body func()) (ok bool) {
+// RunAttempt executes body(c), converting an stm.Abort unwind into a false
+// return. Body and context are passed separately (rather than pre-bound in a
+// closure) so the per-attempt retry loops in the STMs allocate nothing.
+func RunAttempt(body func(core.Ctx), c core.Ctx) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isRetry := r.(retrySignal); !isRetry {
@@ -103,6 +104,6 @@ func RunAttempt(body func()) (ok bool) {
 			ok = false
 		}
 	}()
-	body()
+	body(c)
 	return true
 }

@@ -3,14 +3,15 @@ package stm
 import (
 	"testing"
 
+	"rocktm/internal/core"
 	"rocktm/internal/sim"
 )
 
 func TestRunAttemptConvertsAbort(t *testing.T) {
-	if ok := RunAttempt(func() { Abort() }); ok {
+	if ok := RunAttempt(func(core.Ctx) { Abort() }, nil); ok {
 		t.Fatal("aborted attempt reported success")
 	}
-	if ok := RunAttempt(func() {}); !ok {
+	if ok := RunAttempt(func(core.Ctx) {}, nil); !ok {
 		t.Fatal("clean attempt reported failure")
 	}
 }
@@ -21,7 +22,7 @@ func TestRunAttemptPropagatesForeignPanics(t *testing.T) {
 			t.Fatal("foreign panic swallowed")
 		}
 	}()
-	RunAttempt(func() { panic("bug") })
+	RunAttempt(func(core.Ctx) { panic("bug") }, nil)
 }
 
 func TestOrecTableRejectsBadSizes(t *testing.T) {

@@ -84,7 +84,7 @@ func (y *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	c := y.ctxFor(s)
 	for attempt := 0; ; attempt++ {
 		c.begin()
-		ok := stm.RunAttempt(func() { body(c) })
+		ok := stm.RunAttempt(body, c)
 		if ok && c.commit() {
 			y.stats.Ops++
 			y.stats.SWCommits++
