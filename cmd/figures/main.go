@@ -26,7 +26,9 @@
 // Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
 // divide inline treemap volano fig4 msfse profile attrib, plus the
 // ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI failure
-// weight) and ablate-throttle (adaptive concurrency throttling extension).
+// weight), ablate-throttle (adaptive concurrency throttling extension)
+// and policy (retry policy × fault-injection profile, see docs/POLICY.md
+// and docs/ABORT-PLAYBOOK.md).
 package main
 
 import (
@@ -240,6 +242,7 @@ func main() {
 		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},
 		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
 		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
+		{"policy", func() (*bench.Figure, error) { return bench.PolicyFigure(o) }},
 	}
 	valid := experimentNames(experiments)
 

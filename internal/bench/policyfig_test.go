@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"rocktm/internal/runner"
+)
+
+// policyGoldenDigest pins the rendered bytes of a small policy-ablation
+// matrix (3 policies × 5 fault profiles × 2 thread counts) under a fixed
+// seed: the policy engine's decisions, the fault injector's schedule and
+// the runner-pool merge must all replay bit-for-bit. Regenerate (only for
+// an intended policy or fault-model change) with:
+//
+//	BENCH_GOLDEN_REGEN=1 go test ./internal/bench -run TestPolicyFigure
+const policyGoldenDigest = "f45476c7f02a1677d27cc3ad0ca9c858"
+
+func renderPolicyFigure(o Options) ([]byte, error) {
+	f, err := PolicyFigure(o)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	f.CSV(&buf)
+	return buf.Bytes(), nil
+}
+
+// TestPolicyFigureDeterministic runs the ablation three ways — serial,
+// serial again, and through a parallel runner pool — and requires
+// byte-identical output each time, then checks it against the pinned
+// golden digest.
+func TestPolicyFigureDeterministic(t *testing.T) {
+	o := Options{Threads: []int{1, 2}, OpsPerThread: 200, Seed: 1}
+	first, err := renderPolicyFigure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := renderPolicyFigure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("same-seed serial reruns diverged")
+	}
+	op := o
+	op.Runner = &runner.Pool{Workers: 4}
+	parallel, err := renderPolicyFigure(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, parallel) {
+		t.Fatal("runner-pool output differs from serial output")
+	}
+	sum := sha256.Sum256(first)
+	digest := hex.EncodeToString(sum[:16])
+	if os.Getenv("BENCH_GOLDEN_REGEN") != "" {
+		fmt.Printf("\tpolicyGoldenDigest = %q\n", digest)
+		t.Fatal("BENCH_GOLDEN_REGEN set: digest printed above; paste and unset")
+	}
+	if digest != policyGoldenDigest {
+		t.Errorf("policy ablation bytes changed: digest %s, pinned %s\n--- got output ---\n%s",
+			digest, policyGoldenDigest, first)
+	}
+}

@@ -8,12 +8,19 @@
 // which distinguishes HyTM from PhTM's global phases, and is also why its
 // hardware path is roughly twice as expensive as PhTM's uninstrumented one
 // (the factor the paper observes in Figure 1).
+//
+// Retry intelligence lives in the shared internal/policy engine (default:
+// policy "paper" with HyTM's tuning; SetPolicy swaps in any registered
+// policy). HyTM's one system-specific wrinkle is the explicit TCC abort:
+// here it means the instrumentation found a software transaction owning
+// something we touched, and the right reaction is a charged backoff-retry
+// — not a wait — because the owner is making progress concurrently.
 package hytm
 
 import (
 	"rocktm/internal/core"
-	"rocktm/internal/cps"
 	"rocktm/internal/obs"
+	"rocktm/internal/policy"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
@@ -28,21 +35,50 @@ type Config struct {
 	UCTIWeight float64
 }
 
-// DefaultConfig returns the policy used in the experiments.
-func DefaultConfig() Config { return Config{MaxFailures: 6, UCTIWeight: 0.5} }
+// DefaultConfig returns the policy used in the experiments: the shared
+// internal/policy defaults, except for the smaller budget — HyTM's
+// instrumented hardware path costs ~2x PhTM's, so burned attempts are
+// twice as expensive.
+func DefaultConfig() Config {
+	return Config{MaxFailures: policy.DefaultHyTMBudget, UCTIWeight: policy.DefaultUCTIWeight}
+}
+
+// Tuning maps the config onto the shared policy-engine knobs — exported
+// so experiments can build alternative policies (policy.MustNew) with
+// HyTM's system-correct tuning: TCC (an ownership-check abort) maps to
+// Backoff with a half-failure charge, because the owning software
+// transaction is making progress concurrently.
+func (c Config) Tuning() policy.Tuning {
+	return policy.Tuning{
+		Budget:      c.MaxFailures,
+		UCTIWeight:  c.UCTIWeight,
+		UCTIBackoff: false,
+		GiveUp:      policy.DefaultGiveUp,
+		BackoffOn:   policy.DefaultBackoffOn,
+		TCCAction:   policy.Backoff,
+		TCCWeight:   policy.DefaultTCCWeight,
+	}
+}
 
 // System is a HyTM instance over a HybridSTM back end.
 type System struct {
 	name  string
 	back  stm.HybridSTM
 	cfg   Config
+	pol   policy.Policy
 	stats *core.Stats
 }
 
 // New builds a HyTM system over back (which must not be used standalone
 // concurrently, or its statistics will blend).
 func New(back stm.HybridSTM, cfg Config) *System {
-	return &System{name: "hytm", back: back, cfg: cfg, stats: core.NewStats()}
+	return &System{
+		name:  "hytm",
+		back:  back,
+		cfg:   cfg,
+		pol:   policy.MustNew("paper", cfg.Tuning()),
+		stats: core.NewStats(),
+	}
 }
 
 // Name implements core.System.
@@ -50,6 +86,10 @@ func (h *System) Name() string { return h.name }
 
 // SetName overrides the reported name.
 func (h *System) SetName(n string) { h.name = n }
+
+// SetPolicy replaces the retry policy driving the hardware attempts (the
+// default is "paper" with this system's tuning).
+func (h *System) SetPolicy(pol policy.Policy) { h.pol = pol }
 
 // Stats implements core.System: a merged snapshot of the hardware-path
 // counters and the software back end's.
@@ -64,42 +104,37 @@ func (h *System) Stats() *core.Stats {
 func (h *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	st := h.stats
 	st.HWBlocks++
-	failScore := 0.0
 	// Bind the hardware attempt once per block, not once per retry, so the
 	// failure loop allocates nothing.
 	hwBody := func(tx *rock.Txn) {
 		body(h.back.HWCtx(tx))
 	}
-	for attempt := 0; failScore < h.cfg.MaxFailures; attempt++ {
+	eng := policy.Start(h.pol, 0)
+	for {
 		st.HWAttempts++
 		ok, c := rock.Try(s, hwBody)
 		if ok {
 			st.HWCommits++
 			st.Ops++
+			eng.OnCommit()
 			return
 		}
 		st.RecordFailure(c)
-		switch {
-		case c == cps.TCC:
-			// The instrumentation's explicit abort: a software transaction
-			// owns something we touched. Back off and retry; do not burn
-			// the full failure budget on it.
-			failScore += 0.5
-			core.Backoff(s, attempt)
-		case c.Has(cps.UCTI):
-			// UCTI dominates: companion bits may be misspeculation
-			// artifacts, so retry rather than trusting them (Section 3).
-			failScore += h.cfg.UCTIWeight
-		case c.Any(cps.INST | cps.FP | cps.PREC):
-			failScore = h.cfg.MaxFailures // will never succeed in hardware
-		default:
-			failScore++
-			if c.Has(cps.COH) {
-				core.Backoff(s, attempt)
+		act := eng.OnFailure(s, c)
+		if act == policy.Fallback {
+			break
+		}
+		if act == policy.Wait {
+			// HyTM's tuning maps TCC to Backoff, so Wait only surfaces
+			// under a custom policy; with no system condition to wait on,
+			// the budget check is all that remains.
+			if eng.Exhausted() {
+				break
 			}
 		}
 	}
 	// Software fallback; the back end retries internally until it commits.
+	eng.OnFallback()
 	s.TraceEvent(obs.EvFallback, 0)
 	h.back.Atomic(s, body)
 }

@@ -11,12 +11,20 @@
 // software-transaction count, any software transaction beginning mid-flight
 // dooms it through plain coherence — phase changes need no fences or
 // handshakes.
+//
+// Retry intelligence lives in the shared internal/policy engine: the
+// default is the paper's Section 6.1 heuristics (policy "paper" with
+// PhTM's tuning), and SetPolicy swaps in any registered policy. The one
+// PhTM-specific rule is the explicit TCC abort — it means software
+// transactions are still draining, so the engine's Wait verdict is
+// served here by spinning until the stragglers finish (or the whole
+// system flips to the software phase under us).
 package phtm
 
 import (
 	"rocktm/internal/core"
-	"rocktm/internal/cps"
 	"rocktm/internal/obs"
+	"rocktm/internal/policy"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm"
@@ -36,9 +44,33 @@ type Config struct {
 	SWHold sim.Word
 }
 
-// DefaultConfig returns the policy used in the experiments.
+// DefaultConfig returns the policy used in the experiments. The numeric
+// knobs are the shared internal/policy defaults.
 func DefaultConfig() Config {
-	return Config{MaxFailures: 8, UCTIWeight: 0.5, SWHold: 16}
+	return Config{
+		MaxFailures: policy.DefaultBudget,
+		UCTIWeight:  policy.DefaultUCTIWeight,
+		SWHold:      16,
+	}
+}
+
+// Tuning maps the config onto the shared policy-engine knobs — exported
+// so experiments can build alternative policies (policy.MustNew) with
+// PhTM's system-correct tuning. PhTM's hardware path is uninstrumented,
+// so a TCC abort can only be the software-straggler check firing: it is
+// handled by waiting (Wait, zero charge), and a UCTI retry goes back
+// immediately (no backoff) because the failure carries no evidence of
+// contention.
+func (c Config) Tuning() policy.Tuning {
+	return policy.Tuning{
+		Budget:      c.MaxFailures,
+		UCTIWeight:  c.UCTIWeight,
+		UCTIBackoff: false,
+		GiveUp:      policy.DefaultGiveUp,
+		BackoffOn:   policy.DefaultBackoffOn,
+		TCCAction:   policy.Wait,
+		TCCWeight:   0,
+	}
 }
 
 // System is a PhTM instance over an STM back end.
@@ -46,6 +78,7 @@ type System struct {
 	name    string
 	back    stm.STM
 	cfg     Config
+	pol     policy.Policy
 	swMode  sim.Addr // software-phase countdown; 0 = hardware phase
 	swCount sim.Addr // active software transactions
 	stats   *core.Stats
@@ -57,6 +90,7 @@ func New(m *sim.Machine, back stm.STM, cfg Config) *System {
 		name:    "phtm",
 		back:    back,
 		cfg:     cfg,
+		pol:     policy.MustNew("paper", cfg.Tuning()),
 		swMode:  m.Mem().AllocLines(sim.WordsPerLine),
 		swCount: m.Mem().AllocLines(sim.WordsPerLine),
 		stats:   core.NewStats(),
@@ -68,6 +102,11 @@ func (p *System) Name() string { return p.name }
 
 // SetName overrides the reported name ("phtm-tl2").
 func (p *System) SetName(n string) { p.name = n }
+
+// SetPolicy replaces the retry policy driving the hardware attempts (the
+// default is "paper" with this system's tuning). The policy's Wait
+// verdict is always served by the software-straggler spin.
+func (p *System) SetPolicy(pol policy.Policy) { p.pol = pol }
 
 // Stats implements core.System: a merged snapshot of hardware-path and
 // back-end counters.
@@ -83,7 +122,6 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	st := p.stats
 	if s.Load(p.swMode) == 0 {
 		st.HWBlocks++
-		failScore := 0.0
 		// Bind the hardware attempt once per block, not once per retry, so
 		// the failure loop allocates nothing.
 		hwBody := func(tx *rock.Txn) {
@@ -92,17 +130,22 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 			}
 			body(rock.Ctx{T: tx})
 		}
-		for attempt := 0; failScore < p.cfg.MaxFailures; attempt++ {
+		eng := policy.Start(p.pol, 0)
+	attempts:
+		for {
 			st.HWAttempts++
 			ok, c := rock.Try(s, hwBody)
 			if ok {
 				st.HWCommits++
 				st.Ops++
+				eng.OnCommit()
 				return
 			}
 			st.RecordFailure(c)
-			switch {
-			case c == cps.TCC:
+			switch eng.OnFailure(s, c) {
+			case policy.Fallback:
+				break attempts
+			case policy.Wait:
 				// The explicit abort: software transactions are still
 				// active. That is not this block's fault — wait for the
 				// stragglers to drain rather than burning the failure
@@ -111,23 +154,12 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 				for spin := 0; s.Load(p.swCount) != 0 && s.Load(p.swMode) == 0; spin++ {
 					core.Backoff(s, spin)
 				}
-				if s.Load(p.swMode) != 0 {
-					failScore = p.cfg.MaxFailures // phase moved under us
-				}
-			case c.Has(cps.UCTI):
-				// UCTI dominates: the other reported bits may be artifacts
-				// of misspeculation, so retry rather than trusting them —
-				// the very purpose of the R2 bit (Section 3).
-				failScore += p.cfg.UCTIWeight
-			case c.Any(cps.INST | cps.FP | cps.PREC):
-				failScore = p.cfg.MaxFailures
-			default:
-				failScore++
-				if c.Has(cps.COH) {
-					core.Backoff(s, attempt)
+				if s.Load(p.swMode) != 0 || eng.Exhausted() {
+					break attempts // phase moved under us
 				}
 			}
 		}
+		eng.OnFallback()
 		// Trigger the software phase.
 		s.Store(p.swMode, p.cfg.SWHold)
 		s.TraceEvent(obs.EvModeSoftware, uint64(p.cfg.SWHold))

@@ -7,7 +7,8 @@
 // speculatively, any failing transactional instruction unwinds it (via a
 // private panic, matching the hardware discarding all effects), and Try
 // returns the CPS contents. Software retry policy — the subject of much of
-// the paper — lives above this layer.
+// the paper — lives above this layer, in internal/policy and the TM
+// systems that drive it (see docs/ABORT-PLAYBOOK.md).
 package rock
 
 import (

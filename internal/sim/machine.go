@@ -112,6 +112,12 @@ type Config struct {
 	// every so many cycles; a transaction in flight aborts with CPS=ASYNC.
 	// 0 disables.
 	InterruptEvery int64
+
+	// Faults configures deterministic fault injection (see FaultPlan). The
+	// zero value injects nothing and leaves every RNG stream untouched, so
+	// fault-free runs are bit-for-bit identical to pre-fault-injection
+	// builds.
+	Faults FaultPlan
 }
 
 // DefaultConfig returns a Rock-flavoured configuration for n strands.
@@ -262,6 +268,13 @@ func New(cfg Config) *Machine {
 		l2:        newL2(cfg.L2Sets, cfg.L2Ways),
 		sqPerBank: cfg.storeQueuePerBank(),
 		defQueue:  cfg.deferredQueue(),
+	}
+	// Capacity-squeeze faults override the mode-resolved queue capacities.
+	if q := cfg.Faults.SqueezeStoreQueue; q > 0 {
+		m.sqPerBank = q
+	}
+	if q := cfg.Faults.SqueezeDeferredQueue; q > 0 {
+		m.defQueue = q
 	}
 	m.strands = make([]*Strand, cfg.Strands)
 	m.parked = make([]heapNode, 0, cfg.Strands)

@@ -78,6 +78,12 @@ type Strand struct {
 	mmu mmu
 	bp  *branchPredictor
 
+	// flt, when non-nil, injects deterministic faults into transactional
+	// accesses (see FaultPlan). It is nil unless the machine config enables
+	// a probabilistic fault, so fault-free runs pay one nil check per
+	// transactional access and draw no extra randomness.
+	flt *faultInjector
+
 	nextInterrupt int64
 
 	tx txnState
@@ -103,6 +109,7 @@ func newStrand(m *Machine, id int) *Strand {
 	}
 	s.mmu.init(m.cfg.MicroDTLB, m.cfg.MainDTLB, m.cfg.ITLB)
 	s.mmu.reserve(m.mem.PageCount())
+	s.flt = newFaultInjector(&m.cfg, id)
 	s.tx.fwd = newU32Map()
 	s.tx.lineSet = newU32Map()
 	if m.cfg.InterruptEvery > 0 {

@@ -150,6 +150,14 @@ func (t *tlb) drop(s int32) {
 	t.nfree++
 }
 
+// evict drops page's mapping if resident (the fault injector's TLB
+// shootdown); a non-resident page is a no-op.
+func (t *tlb) evict(page int32) {
+	if s := t.slot(page); s >= 0 {
+		t.drop(s)
+	}
+}
+
 // lookup reports whether a current-generation mapping for page is present.
 // The common cases — the probed page is the most or second-most recently
 // used, which covers code alternating between a data structure's page and

@@ -159,6 +159,9 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 	}
 	s.advance(s.m.cfg.Costs.Op)
 	s.stats.Loads++
+	if s.flt != nil {
+		s.flt.onTxAccess(s) // injected ASYNC/COH dooms, delivered below
+	}
 	if s.checkDoom() {
 		return 0, false
 	}
@@ -240,12 +243,20 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	}
 	s.advance(s.m.cfg.Costs.Op)
 	s.stats.Stores++
+	if s.flt != nil {
+		s.flt.onTxAccess(s) // injected ASYNC/COH dooms, delivered below
+	}
 	if s.checkDoom() {
 		return false
 	}
 	t := &s.tx
 	p := PageOf(a)
 	pg := &s.m.mem.pages[p]
+	if s.flt != nil {
+		// An injected TLB shootdown evicts p's micro-DTLB entry here, so
+		// the translation check below misses and aborts with ST organically.
+		s.flt.onTxStorePage(s, p)
+	}
 
 	// Micro-DTLB check. A miss aborts with CPS=ST; the failing access
 	// generates an MMU request, so if a higher-level mapping exists the

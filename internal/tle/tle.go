@@ -6,6 +6,16 @@
 // eventually falls back to really acquiring the lock. Because an elided
 // transaction has the lock word in its read set, a fallback acquisition
 // dooms all concurrent elisions, preserving lock semantics.
+//
+// Retry intelligence lives in the shared internal/policy engine. The local
+// Policy struct is the experiment-facing configuration (kept stable for
+// the JVM, MSF and ablation callers); it compiles down to either the
+// "paper" policy (UseCPS true — the Section 6.1 heuristics, with TLE's
+// back-off-on-UCTI wrinkle) or the "naive" policy (UseCPS false — the STL
+// vector experiment's fixed-count loop). SetPolicy swaps in any registered
+// policy. TLE's system-specific rule is the explicit TCC abort: it means
+// the lock is really held, so the engine's Wait verdict is served here by
+// spinning (with backoff) until the lock word reads free.
 package tle
 
 import (
@@ -13,6 +23,7 @@ import (
 	"rocktm/internal/cps"
 	"rocktm/internal/locktm"
 	"rocktm/internal/obs"
+	"rocktm/internal/policy"
 	"rocktm/internal/rock"
 	"rocktm/internal/sim"
 )
@@ -87,13 +98,14 @@ type Policy struct {
 }
 
 // DefaultPolicy returns the CPS-guided policy used by the modified JVM and
-// the MSF experiments.
+// the MSF experiments. The numeric knobs are the shared internal/policy
+// defaults (Section 8.1's "8 and one half").
 func DefaultPolicy() Policy {
 	return Policy{
-		MaxFailures: 8,
-		UCTIWeight:  0.5,
-		GiveUp:      cps.INST | cps.FP | cps.PREC,
-		BackoffOn:   cps.COH,
+		MaxFailures: policy.DefaultBudget,
+		UCTIWeight:  policy.DefaultUCTIWeight,
+		GiveUp:      policy.DefaultGiveUp,
+		BackoffOn:   policy.DefaultBackoffOn,
 		UseCPS:      true,
 	}
 }
@@ -104,12 +116,36 @@ func SimplePolicy(n int) Policy {
 	return Policy{MaxFailures: float64(n), UCTIWeight: 1, UseCPS: false}
 }
 
+// build compiles the experiment-facing configuration down to a registered
+// policy-engine instance: "paper" when CPS guidance is on, "naive" when it
+// is off. TLE's tuning wrinkles: it backs off on a UCTI failure whose
+// companion bits include a BackoffOn reason (PhTM and HyTM retry such
+// failures immediately), and a TCC abort — the lock is held — maps to Wait
+// with the default half-failure charge, even under the naive policy (the
+// STL vector experiment's loop still honored the lock-held convention).
+func (pol Policy) build() policy.Policy {
+	t := policy.Tuning{
+		Budget:      pol.MaxFailures,
+		UCTIWeight:  pol.UCTIWeight,
+		UCTIBackoff: true,
+		GiveUp:      pol.GiveUp,
+		BackoffOn:   pol.BackoffOn,
+		TCCAction:   policy.Wait,
+		TCCWeight:   policy.DefaultTCCWeight,
+	}
+	if pol.UseCPS {
+		return policy.MustNew("paper", t)
+	}
+	return policy.MustNew("naive", t)
+}
+
 // System is a core.System executing every atomic block as an elided
 // critical section of a single lock.
 type System struct {
 	name     string
 	lock     ElidableLock
-	pol      Policy
+	cfg      Policy
+	pol      policy.Policy
 	stats    *core.Stats
 	enabled  bool
 	throttle *Throttle
@@ -117,8 +153,20 @@ type System struct {
 
 // New builds a TLE system over the given lock.
 func New(name string, lock ElidableLock, pol Policy) *System {
-	return &System{name: name, lock: lock, pol: pol, stats: core.NewStats(), enabled: true}
+	return &System{
+		name:    name,
+		lock:    lock,
+		cfg:     pol,
+		pol:     pol.build(),
+		stats:   core.NewStats(),
+		enabled: true,
+	}
 }
+
+// SetPolicy replaces the retry policy driving elision attempts (the
+// default is the one compiled from the Policy config passed to New). The
+// policy's Wait verdict is always served by the lock-held spin.
+func (t *System) SetPolicy(pol policy.Policy) { t.pol = pol }
 
 // SetEnabled turns elision off (every block acquires the lock), modelling
 // "code for TLE emitted, but with the feature disabled" (Section 7.2).
@@ -164,47 +212,38 @@ func (t *System) executeOn(s *sim.Strand, lock ElidableLock, body func(core.Ctx)
 			defer func() { t.throttle.leave(s, took, sawCOH && fellToLock) }()
 		}
 		lockAddr := lock.Addr()
-		failScore := 0.0
 		st.HWBlocks++
-		for attempt := 0; failScore < t.pol.MaxFailures; attempt++ {
+		// Bind the engine once per block; its budget check replaces the old
+		// hand-rolled failScore loop (the top-of-loop test preserves the
+		// zero-budget SimplePolicy(0) case: no attempt at all).
+		eng := policy.Start(t.pol, 0)
+	attempts:
+		for !eng.Exhausted() {
 			st.HWAttempts++
 			ok, c := Try(s, lockAddr, body)
 			if ok {
 				st.HWCommits++
 				st.Ops++
+				eng.OnCommit()
 				return
 			}
 			if c.Has(cps.COH) {
 				sawCOH = true
 			}
 			st.RecordFailure(c)
-			if c == cps.TCC {
-				// The explicit abort: the lock was held. Wait for it to
-				// free up, then retry; lock-holder waits score half.
-				failScore += 0.5
+			switch eng.OnFailure(s, c) {
+			case policy.Wait:
+				// The explicit abort: the lock was really held. Wait for it
+				// to free up, then retry (the loop condition re-checks the
+				// budget, which the wait's charge may have exhausted).
 				for spin := 0; s.Load(lockAddr) != 0; spin++ {
 					core.Backoff(s, spin)
 				}
-				continue
-			}
-			if t.pol.UseCPS {
-				if c.Has(cps.UCTI) {
-					// UCTI dominates any companion bits: the reported
-					// reason may be a misspeculation artifact, so retry
-					// (Section 3's rationale for the bit).
-					failScore += t.pol.UCTIWeight
-				} else if c.Any(t.pol.GiveUp) {
-					break
-				} else {
-					failScore++
-				}
-				if c.Any(t.pol.BackoffOn) {
-					core.Backoff(s, attempt)
-				}
-			} else {
-				failScore++
+			case policy.Fallback:
+				break attempts
 			}
 		}
+		eng.OnFallback()
 		fellToLock = true
 		s.TraceEvent(obs.EvFallback, uint64(lock.Addr()))
 	}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# checklinks.sh — fail if any markdown file contains a relative link to a
+# file that does not exist.
+#
+# Scope: every *.md tracked in the repository. Checked links are the
+# [text](target) inline form whose target is relative (no scheme, no
+# leading #). Anchors are stripped before the existence check; URL
+# targets (http:, https:, mailto:) and pure in-page anchors are ignored.
+#
+# Usage: scripts/checklinks.sh   (from the repository root; CI runs it in
+# the docs-check job, see .github/workflows/ci.yml)
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+fail=0
+# Tracked markdown only, so stray editor backups don't break CI.
+for md in $(git ls-files '*.md'); do
+	dir=$(dirname "$md")
+	# Pull every inline-link target out of the file, one per line.
+	# (grep -o keeps it POSIX; the sed strips the [text]( prefix and ).)
+	targets=$(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+		sed 's/^\[[^]]*\](//; s/)$//') || true
+	[ -n "$targets" ] || continue
+	printf '%s\n' "$targets" | while IFS= read -r t; do
+		case "$t" in
+		'' | \#* | http://* | https://* | mailto:*) continue ;;
+		esac
+		# Strip an in-page anchor and any "title" suffix.
+		path=${t%%#*}
+		path=${path%% *}
+		[ -n "$path" ] || continue
+		if ! [ -e "$dir/$path" ]; then
+			echo "BROKEN $md -> $t"
+			# The pipeline runs in a subshell; signal through a file.
+			: >"$root/.checklinks.failed"
+		fi
+	done
+done
+
+if [ -e "$root/.checklinks.failed" ]; then
+	rm -f "$root/.checklinks.failed"
+	echo "checklinks: broken relative links found" >&2
+	exit 1
+fi
+echo "checklinks: all relative markdown links resolve"
