@@ -11,6 +11,8 @@
 //	figures -csv                     # machine-readable output too
 //	figures -json                    # one JSON document per figure
 //	figures -exp attrib              # Table-4-style abort attribution
+//	figures -exp tail                # skew x system latency percentiles
+//	figures -latency -exp fig2b      # add p50/p90/p99/p99.9 to any figure
 //	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
 //	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
 //	figures -no-cache                # recompute every cell
@@ -24,11 +26,13 @@
 // Parallel output is byte-identical to serial output.
 //
 // Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
-// divide inline treemap volano fig4 msfse profile attrib, plus the
-// ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI failure
-// weight), ablate-throttle (adaptive concurrency throttling extension)
-// and policy (retry policy × fault-injection profile, see docs/POLICY.md
-// and docs/ABORT-PLAYBOOK.md).
+// divide inline treemap volano fig4 msfse profile attrib, the tail
+// latency experiment tail (zipfian skew × system, percentile tables, see
+// docs/WORKLOADS.md), plus the ablations ablate-retry (PhTM retry
+// budget), ablate-ucti (UCTI failure weight), ablate-throttle (adaptive
+// concurrency throttling extension) and policy (retry policy ×
+// fault-injection profile, see docs/POLICY.md and
+// docs/ABORT-PLAYBOOK.md).
 package main
 
 import (
@@ -101,6 +105,7 @@ func main() {
 		thrFlag  = flag.String("threads", "1,2,3,4,6,8,12,16", "thread counts")
 		seedFlag = flag.Uint64("seed", 1, "experiment seed")
 		csvFlag  = flag.Bool("csv", false, "also emit CSV rows")
+		latFlag  = flag.Bool("latency", false, "record per-operation latency and add p50/p90/p99/p99.9 columns to every workload-driven figure")
 		jsonFlag = flag.Bool("json", false, "also emit one JSON document per figure/report")
 		traceFlg = flag.String("trace", "", "write a Chrome trace_event JSON file of every timed run (forces serial, uncached cells)")
 		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
@@ -209,7 +214,7 @@ func main() {
 		}
 	}
 
-	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag, Runner: pool}
+	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag, Runner: pool, Latency: *latFlag}
 	var sink *obs.TraceSink
 	if *traceFlg != "" {
 		sink = &obs.TraceSink{}
@@ -223,27 +228,7 @@ func main() {
 		mo.Runner = nil // MSF cells are untraced; keep them serial too for reproducible trace files
 	}
 
-	experiments := []experiment{
-		{"counter", func() (*bench.Figure, error) { return bench.CounterFigure(o) }},
-		{"dcas", func() (*bench.Figure, error) { return bench.DCASFigure(o) }},
-		{"fig1a", func() (*bench.Figure, error) { return bench.Fig1a(o) }},
-		{"fig1b", func() (*bench.Figure, error) { return bench.Fig1b(o) }},
-		{"fig1ro", func() (*bench.Figure, error) { return bench.Fig1ReadOnly(o) }},
-		{"fig2a", func() (*bench.Figure, error) { return bench.Fig2a(o) }},
-		{"fig2b", func() (*bench.Figure, error) { return bench.Fig2b(o) }},
-		{"fig3a", func() (*bench.Figure, error) { return bench.Fig3a(o) }},
-		{"fig3b", func() (*bench.Figure, error) { return bench.Fig3b(o) }},
-		{"divide", func() (*bench.Figure, error) { return bench.DivideHashDemo(o) }},
-		{"inline", func() (*bench.Figure, error) { return bench.InlineDemo(o) }},
-		{"treemap", func() (*bench.Figure, error) { return bench.TreeMapDemo(o) }},
-		{"volano", func() (*bench.Figure, error) { return bench.VolanoFigure(o) }},
-		{"fig4", func() (*bench.Figure, error) { return bench.Fig4(mo) }},
-		{"msfse", func() (*bench.Figure, error) { return bench.SEModeMSF(mo) }},
-		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},
-		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
-		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
-		{"policy", func() (*bench.Figure, error) { return bench.PolicyFigure(o) }},
-	}
+	experiments := buildExperiments(o, mo)
 	valid := experimentNames(experiments)
 
 	if *expFlag == "list" {
@@ -330,6 +315,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d events from %d runs to %s (load in Perfetto / chrome://tracing)\n",
 			sink.Events(), sink.Runs(), *traceFlg)
+	}
+}
+
+// buildExperiments assembles the full figure catalogue in display order.
+// Factored out of main so tests can assert the catalogue (and therefore
+// -exp list and the unknown-name error) includes every documented name.
+func buildExperiments(o bench.Options, mo bench.MSFOptions) []experiment {
+	return []experiment{
+		{"counter", func() (*bench.Figure, error) { return bench.CounterFigure(o) }},
+		{"dcas", func() (*bench.Figure, error) { return bench.DCASFigure(o) }},
+		{"fig1a", func() (*bench.Figure, error) { return bench.Fig1a(o) }},
+		{"fig1b", func() (*bench.Figure, error) { return bench.Fig1b(o) }},
+		{"fig1ro", func() (*bench.Figure, error) { return bench.Fig1ReadOnly(o) }},
+		{"fig2a", func() (*bench.Figure, error) { return bench.Fig2a(o) }},
+		{"fig2b", func() (*bench.Figure, error) { return bench.Fig2b(o) }},
+		{"fig3a", func() (*bench.Figure, error) { return bench.Fig3a(o) }},
+		{"fig3b", func() (*bench.Figure, error) { return bench.Fig3b(o) }},
+		{"divide", func() (*bench.Figure, error) { return bench.DivideHashDemo(o) }},
+		{"inline", func() (*bench.Figure, error) { return bench.InlineDemo(o) }},
+		{"treemap", func() (*bench.Figure, error) { return bench.TreeMapDemo(o) }},
+		{"volano", func() (*bench.Figure, error) { return bench.VolanoFigure(o) }},
+		{"tail", func() (*bench.Figure, error) { return bench.TailFigure(o) }},
+		{"fig4", func() (*bench.Figure, error) { return bench.Fig4(mo) }},
+		{"msfse", func() (*bench.Figure, error) { return bench.SEModeMSF(mo) }},
+		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},
+		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
+		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
+		{"policy", func() (*bench.Figure, error) { return bench.PolicyFigure(o) }},
 	}
 }
 

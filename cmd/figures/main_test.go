@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"rocktm/internal/bench"
 )
 
 var testValid = []string{"fig1a", "fig2b", "attrib", "profile"}
@@ -50,5 +52,29 @@ func TestExperimentNamesIncludeReports(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("experimentNames missing %q: %v", want, names)
 		}
+	}
+}
+
+// The real catalogue (what -exp list prints) must carry the tail latency
+// experiment alongside the legacy figures, and the unknown-name error must
+// enumerate it so users discover it from a typo.
+func TestCatalogueIncludesTail(t *testing.T) {
+	valid := experimentNames(buildExperiments(bench.Options{}, bench.MSFOptions{}))
+	set := map[string]bool{}
+	for _, n := range valid {
+		set[n] = true
+	}
+	for _, want := range []string{"tail", "fig1a", "fig4", "policy", "attrib", "profile"} {
+		if !set[want] {
+			t.Errorf("experiment catalogue missing %q: %v", want, valid)
+		}
+	}
+	if _, err := parseExpFlag("tial", valid); err == nil {
+		t.Fatal("unknown experiment accepted")
+	} else if !strings.Contains(err.Error(), "tail") {
+		t.Errorf("unknown-experiment error does not enumerate tail: %v", err)
+	}
+	if sel, err := parseExpFlag("tail", valid); err != nil || !sel["tail"] {
+		t.Fatalf("-exp tail rejected: sel=%v err=%v", sel, err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
 	"rocktm/internal/tle"
+	"rocktm/internal/workload"
 )
 
 // AblationRetryBudget is the Section 6 knob study: how the PhTM
@@ -79,6 +80,7 @@ func AblationUCTIWeight(o Options) (*Figure, error) {
 		Title:  "Ablation: UCTI failure weight in the TLE policy (Java Hashtable, mix 2:6:2)",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	wl := workload.MustCompile(javaMix{2, 6, 2}.spec(keyRange))
 	var names []string
 	var cells []pointCell
 	for _, w := range weights {
@@ -96,26 +98,23 @@ func AblationUCTIWeight(o Options) (*Figure, error) {
 					pol.UCTIWeight = w
 					vm := jvm.New(m, pol)
 					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
-					var keys []uint64
-					for k := 0; k < keyRange; k += 2 {
-						keys = append(keys, uint64(k))
-					}
-					ht.Prepopulate(m.Mem(), keys, 1)
+					ht.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							key := uint64(s.RandIntn(keyRange))
-							switch r := s.RandIntn(10); {
-							case r < 2:
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+							switch op {
+							case workload.OpPut:
 								ht.Put(s, key, 1)
-							case r < 8:
+							case workload.OpGet:
 								ht.Get(s, key)
 							default:
 								ht.Remove(s, key)
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -139,6 +138,7 @@ func AblationThrottle(o Options) (*Figure, error) {
 		Title:  "Extension: adaptive concurrency throttling (TLE, Hashtable 5:0:5, keyrange 8)",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	wl := workload.MustCompile(mix.spec(keyRange))
 	var names []string
 	var cells []pointCell
 	for _, throttled := range []bool{false, true} {
@@ -160,26 +160,23 @@ func AblationThrottle(o Options) (*Figure, error) {
 						vm.SetThrottle(tle.NewThrottle(m))
 					}
 					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*th+64)
-					var keys []uint64
-					for k := 0; k < keyRange; k += 2 {
-						keys = append(keys, uint64(k))
-					}
-					ht.Prepopulate(m.Mem(), keys, 1)
+					ht.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							key := uint64(s.RandIntn(keyRange))
-							switch r := s.RandIntn(10); {
-							case r < mix.put:
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+							switch op {
+							case workload.OpPut:
 								ht.Put(s, key, 1)
-							case r < mix.put+mix.get:
+							case workload.OpGet:
 								ht.Get(s, key)
 							default:
 								ht.Remove(s, key)
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}

@@ -17,6 +17,7 @@ import (
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
 	"rocktm/internal/tle"
+	"rocktm/internal/workload"
 )
 
 // AttribRow is one (system, threads) cell of the abort-attribution report:
@@ -101,16 +102,20 @@ func AttributionReport(o Options) (*AttribReport, error) {
 					core.Publish(reg, sys)
 					m.PublishMetrics(reg)
 					tr := m.StartTrace(o.TraceEvents)
+					// The 0%-lookup KVSpec (key, then a 50/50 insert/delete
+					// roll out of 100) reproduces the legacy attribution
+					// loop's RNG sequence exactly.
+					wl := workload.MustCompile(cfg.spec())
 					m.Run(func(s *sim.Strand) {
 						ses := st.NewSession(sys, s)
-						for i := 0; i < o.OpsPerThread; i++ {
-							key := uint64(s.RandIntn(cfg.keyRange))
-							if s.RandIntn(100) < 50 {
+						d := wl.Driver(s, nil)
+						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+							if op == workload.OpInsert {
 								ses.Insert(key, 1)
 							} else {
 								ses.Delete(key)
 							}
-						}
+						})
 					})
 					events := tr.Merged()
 					if o.Trace != nil {

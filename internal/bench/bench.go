@@ -3,6 +3,13 @@
 // renders them as aligned text tables (one column per curve, one row per
 // thread count, throughput in operations per microsecond of simulated
 // time, exactly the units the paper plots).
+//
+// Every per-strand operation loop is described declaratively as a
+// workload.Spec (op mix, key distribution, arrival process) and executed
+// through the shared workload.Driver — see docs/WORKLOADS.md. The driver
+// preserves the legacy loops' RNG call sequences exactly, so the golden
+// figure digests pinned in golden_test.go are byte-identical across the
+// refactor.
 package bench
 
 import (
@@ -17,6 +24,7 @@ import (
 	"rocktm/internal/obs"
 	"rocktm/internal/runner"
 	"rocktm/internal/sim"
+	"rocktm/internal/workload"
 )
 
 // DefaultThreads is the paper's x-axis: 1–16 threads.
@@ -30,6 +38,15 @@ type Options struct {
 	OpsPerThread int
 	Seed         uint64
 	Out          io.Writer
+
+	// Latency enables per-operation simulated-cycle latency capture on
+	// every workload-driven figure: each point then carries a
+	// p50/p90/p99/p99.9 digest into the figure's tables, CSV and JSON.
+	// Off by default so legacy figure output stays byte-identical; the
+	// recorder itself never perturbs the simulation either way. The knob
+	// enters each cell's cache key ("lat" param), so cached latency-less
+	// points are never served to a latency-enabled run.
+	Latency bool
 
 	// Trace, when non-nil, receives one cycle-timestamped event trace per
 	// timed run (labelled "experiment/system@threads"), exportable as
@@ -60,8 +77,18 @@ func (o Options) pool() *runner.Pool {
 // spec canonically identifies one cell of an experiment for the runner's
 // scheduler and cache. cfg must be the exact machine configuration the
 // cell will run under; params carries workload knobs (mixes, key ranges,
-// policy weights) that the machine config cannot see.
+// skew distributions, policy weights) that the machine config cannot see.
+// Latency capture folds in as the "lat" param: a latency-enabled cell has
+// a different payload (the Point carries a digest), so it must never
+// alias a latency-less cache entry.
 func (o Options) spec(experiment, system string, threads int, cfg sim.Config, params map[string]string) runner.Spec {
+	if o.Latency {
+		p := map[string]string{"lat": "1"}
+		for k, v := range params {
+			p[k] = v
+		}
+		params = p
+	}
 	return runner.Spec{
 		Experiment: experiment,
 		System:     system,
@@ -71,6 +98,17 @@ func (o Options) spec(experiment, system string, threads int, cfg sim.Config, pa
 		SimDigest:  cfg.Digest(),
 		Params:     params,
 	}
+}
+
+// latRecorder returns a fresh per-run latency recorder when capture is
+// enabled, nil otherwise. One recorder serves all strands of a run: the
+// machine baton serializes strand execution, so sharing is race-free and
+// the merge is free.
+func (o Options) latRecorder() *obs.LatencyRecorder {
+	if !o.Latency {
+		return nil
+	}
+	return obs.NewLatencyRecorder()
 }
 
 // pointCell is the common experiment cell: one deterministic machine
@@ -135,6 +173,17 @@ type Point struct {
 	// Extra carries per-point annotations (retry fraction, lock fraction,
 	// dominant CPS value) surfaced in the notes.
 	Extra string
+	// Lat is the per-operation simulated-cycle latency digest when the
+	// cell recorded one (nil otherwise; absent points render exactly the
+	// pre-latency byte layout, which is what keeps the legacy golden
+	// digests stable).
+	Lat *obs.LatencySummary `json:",omitempty"`
+}
+
+// point assembles the standard figure point from one run's Result — the
+// single throughput/annotation/latency path every figure shares.
+func point(res workload.Result, threads int) Point {
+	return Point{Threads: threads, OpsPerUsec: res.Throughput(), Extra: res.Summary(), Lat: res.Lat}
 }
 
 // Curve is one line of a figure.
@@ -151,13 +200,20 @@ type Figure struct {
 	Notes  []string
 }
 
-// Render writes the figure as an aligned table.
-func (f *Figure) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s ==\n", f.Title)
-	if f.YLabel != "" {
-		fmt.Fprintf(w, "   (%s)\n", f.YLabel)
+// hasLatency reports whether any point carries a latency digest.
+func (f *Figure) hasLatency() bool {
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			if p.Lat != nil {
+				return true
+			}
+		}
 	}
-	// Collect the x axis.
+	return false
+}
+
+// xAxis collects the distinct thread counts in first-appearance order.
+func (f *Figure) xAxis() []int {
 	xs := []int{}
 	seen := map[int]bool{}
 	for _, c := range f.Curves {
@@ -168,6 +224,13 @@ func (f *Figure) Render(w io.Writer) {
 			}
 		}
 	}
+	return xs
+}
+
+// renderTable writes one aligned thread × curve table, formatting each
+// point through value ("-" for missing cells).
+func (f *Figure) renderTable(w io.Writer, value func(Point) string) {
+	xs := f.xAxis()
 	header := []string{"threads"}
 	for _, c := range f.Curves {
 		header = append(header, c.Name)
@@ -179,7 +242,7 @@ func (f *Figure) Render(w io.Writer) {
 			cell := "-"
 			for _, p := range c.Points {
 				if p.Threads == x {
-					cell = fmt.Sprintf("%.3f", p.OpsPerUsec)
+					cell = value(p)
 				}
 			}
 			row = append(row, cell)
@@ -208,16 +271,56 @@ func (f *Figure) Render(w io.Writer) {
 			fmt.Fprintln(w, strings.Repeat("-", len(sb.String())))
 		}
 	}
+}
+
+// latCell formats one latency percentile cell.
+func latCell(l *obs.LatencySummary, pick func(*obs.LatencySummary) int64) string {
+	if l == nil {
+		return "-"
+	}
+	return strconv.FormatInt(pick(l), 10)
+}
+
+// Render writes the figure as an aligned table (plus per-percentile
+// latency tables when the experiment recorded operation latencies).
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(w, "   (%s)\n", f.YLabel)
+	}
+	f.renderTable(w, func(p Point) string { return fmt.Sprintf("%.3f", p.OpsPerUsec) })
+	if f.hasLatency() {
+		percentiles := []struct {
+			label string
+			pick  func(*obs.LatencySummary) int64
+		}{
+			{"p50", func(l *obs.LatencySummary) int64 { return l.P50 }},
+			{"p99.9", func(l *obs.LatencySummary) int64 { return l.P999 }},
+		}
+		for _, pc := range percentiles {
+			fmt.Fprintf(w, "-- operation latency %s (simulated cycles) --\n", pc.label)
+			pick := pc.pick
+			f.renderTable(w, func(p Point) string { return latCell(p.Lat, pick) })
+		}
+	}
 	for _, n := range f.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
 }
 
-// CSV writes the figure in machine-readable form.
+// CSV writes the figure in machine-readable form. Latency-carrying points
+// append four percentile columns (p50, p90, p99, p99.9 simulated cycles);
+// latency-less rows keep the exact legacy five-column layout.
 func (f *Figure) CSV(w io.Writer) {
 	for _, c := range f.Curves {
 		for _, p := range c.Points {
+			if p.Lat != nil {
+				fmt.Fprintf(w, "%s,%s,%d,%.4f,%s,%d,%d,%d,%d\n",
+					f.Title, c.Name, p.Threads, p.OpsPerUsec, p.Extra,
+					p.Lat.P50, p.Lat.P90, p.Lat.P99, p.Lat.P999)
+				continue
+			}
 			fmt.Fprintf(w, "%s,%s,%d,%.4f,%s\n", f.Title, c.Name, p.Threads, p.OpsPerUsec, p.Extra)
 		}
 	}
@@ -228,9 +331,10 @@ func (f *Figure) CSV(w io.Writer) {
 // attribution report's JSON form so downstream tooling can switch on
 // "kind" and treat both uniformly.
 type jsonPoint struct {
-	Threads    int     `json:"threads"`
-	OpsPerUsec float64 `json:"ops_per_usec"`
-	Extra      string  `json:"extra,omitempty"`
+	Threads    int                 `json:"threads"`
+	OpsPerUsec float64             `json:"ops_per_usec"`
+	Extra      string              `json:"extra,omitempty"`
+	Lat        *obs.LatencySummary `json:"latency,omitempty"`
 }
 
 type jsonCurve struct {
@@ -252,7 +356,7 @@ func (f *Figure) JSON(w io.Writer) error {
 	for _, c := range f.Curves {
 		jc := jsonCurve{Name: c.Name, Points: make([]jsonPoint, 0, len(c.Points))}
 		for _, p := range c.Points {
-			jc.Points = append(jc.Points, jsonPoint{Threads: p.Threads, OpsPerUsec: p.OpsPerUsec, Extra: p.Extra})
+			jc.Points = append(jc.Points, jsonPoint{Threads: p.Threads, OpsPerUsec: p.OpsPerUsec, Extra: p.Extra, Lat: p.Lat})
 		}
 		doc.Curves = append(doc.Curves, jc)
 	}
@@ -276,43 +380,25 @@ func (f *Figure) ValueAt(name string, threads int) (float64, bool) {
 	return 0, false
 }
 
-// runResult is what one timed run reports.
-type runResult struct {
-	ops     uint64
-	seconds float64
-	stats   *core.Stats
+// LatencyAt returns curve name's latency digest at the given thread count.
+func (f *Figure) LatencyAt(name string, threads int) (*obs.LatencySummary, bool) {
+	for _, c := range f.Curves {
+		if c.Name != name {
+			continue
+		}
+		for _, p := range c.Points {
+			if p.Threads == threads && p.Lat != nil {
+				return p.Lat, true
+			}
+		}
+	}
+	return nil, false
 }
 
-func (r runResult) throughput() float64 {
-	if r.seconds <= 0 {
-		return 0
-	}
-	return float64(r.ops) / (r.seconds * 1e6)
-}
-
-// summarizeStats renders the annotations the paper quotes alongside its
-// graphs: the hardware-retry fraction, the lock/STM fallback fraction, and
-// the dominant CPS failure value.
-func summarizeStats(st *core.Stats) string {
-	if st == nil {
-		return ""
-	}
-	parts := []string{}
-	if st.HWAttempts > 0 {
-		parts = append(parts, fmt.Sprintf("retry=%.1f%%", 100*st.RetryFraction()))
-	}
-	if st.Ops > 0 && st.LockAcquires > 0 {
-		parts = append(parts, fmt.Sprintf("lock=%.2f%%", 100*float64(st.LockAcquires)/float64(st.Ops)))
-	}
-	if st.Ops > 0 && st.SWCommits > 0 {
-		parts = append(parts, fmt.Sprintf("sw=%.2f%%", 100*float64(st.SWCommits)/float64(st.Ops)))
-	}
-	if st.CPSHist != nil && st.CPSHist.Total() > 0 {
-		dom, frac := st.CPSHist.Dominant()
-		parts = append(parts, fmt.Sprintf("cps[%s]=%.0f%%", dom, 100*frac))
-	}
-	return strings.Join(parts, " ")
-}
+// summarizeStats renders the per-point annotation string; kept as a thin
+// alias so call sites outside the workload.Result path (MSF, profile)
+// share the one implementation in internal/workload.
+func summarizeStats(st *core.Stats) string { return workload.StatsSummary(st) }
 
 var _ = cps.COH // keep the import for documentation references
 

@@ -10,7 +10,25 @@ import (
 	"rocktm/internal/sim"
 	"rocktm/internal/tle"
 	"rocktm/internal/vector"
+	"rocktm/internal/workload"
 )
+
+// vectorSpec is the Figure 3(a) driver: the op rolls first, then the read
+// index is drawn — unconditionally, exactly like the legacy loop, which
+// consumed an index draw even for push/pop ops that ignore it. That is why
+// none of the ops is NoKey.
+func vectorSpec(initSize, ctrRange int) workload.Spec {
+	return workload.Spec{
+		Ops: []workload.Op{
+			{Name: "push", Weight: 20},
+			{Name: "pop", Weight: 20},
+			{Name: "read", Weight: 60},
+		},
+		Roll:  100,
+		Keys:  workload.Uniform(initSize - ctrRange), // always within the populated prefix
+		Order: workload.OpThenKey,
+	}
+}
 
 // Fig3a reconstructs Figure 3(a): TLE in C++ with an STL vector,
 // initsize=100, ctr-range=40, increment:decrement:read = 20:20:60, using
@@ -23,6 +41,7 @@ func Fig3a(o Options) (*Figure, error) {
 		ctrRange = 40
 		retries  = 20
 	)
+	wl := workload.MustCompile(vectorSpec(initSize, ctrRange))
 	systems := []SysBuilder{
 		{"htm.oneLock", func(m *sim.Machine) core.System { return tleOverSpin(m, retries) }},
 		{"noTM.oneLock", func(m *sim.Machine) core.System { return locktm.NewOneLock(m) }},
@@ -46,22 +65,22 @@ func Fig3a(o Options) (*Figure, error) {
 					m := machineFor(th, 1<<20, o.Seed)
 					v := vector.New(m, initSize+ctrRange+64, initSize)
 					sys := sb.Build(m)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							r := s.RandIntn(100)
-							idx := s.RandIntn(initSize - ctrRange) // always within the populated prefix
-							switch {
-							case r < 20:
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(i, op int, key uint64) {
+							switch op {
+							case 0:
 								sys.Atomic(s, func(c core.Ctx) { v.PushBack(c, sim.Word(i)) })
-							case r < 40:
+							case 1:
 								sys.Atomic(s, func(c core.Ctx) { v.PopBack(c) })
 							default:
-								sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, idx) })
+								sys.AtomicRO(s, func(c core.Ctx) { v.Read(c, int(key)) })
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: sys.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), sys.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -80,6 +99,16 @@ type javaMix struct {
 }
 
 func (x javaMix) String() string { return fmt.Sprintf("%d:%d:%d", x.put, x.get, x.remove) }
+
+// spec is the Java-table driver shape: key drawn first, then the
+// put/get/remove roll out of 10.
+func (x javaMix) spec(keyRange int) workload.Spec {
+	return workload.Spec{
+		Ops:  workload.TenthsMix(x.put, x.get),
+		Roll: 10,
+		Keys: workload.Uniform(keyRange),
+	}
+}
 
 // Fig3b reconstructs Figure 3(b): TLE in Java with java.util.Hashtable
 // (divide factored out of the hash), across operation mixes, TLE vs plain
@@ -127,27 +156,33 @@ func runJavaTable(o Options, threads int, mix javaMix, elide bool, keyRange int)
 	vm := jvm.New(m, tle.DefaultPolicy())
 	vm.Elide = elide
 	ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*threads+64)
-	var keys []uint64
-	for k := 0; k < keyRange; k += 2 {
-		keys = append(keys, uint64(k))
-	}
-	ht.Prepopulate(m.Mem(), keys, 1)
+	ht.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
+	wl := workload.MustCompile(mix.spec(keyRange))
+	lat := o.latRecorder()
 	m.Run(func(s *sim.Strand) {
-		for i := 0; i < o.OpsPerThread; i++ {
-			key := uint64(s.RandIntn(keyRange))
-			r := s.RandIntn(10)
-			switch {
-			case r < mix.put:
+		d := wl.Driver(s, lat)
+		d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+			switch op {
+			case workload.OpPut:
 				ht.Put(s, key, 1)
-			case r < mix.put+mix.get:
+			case workload.OpGet:
 				ht.Get(s, key)
 			default:
 				ht.Remove(s, key)
 			}
-		}
+		})
 	})
-	res := runResult{ops: uint64(threads * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, vm.Stats()
+	res := workload.NewResult(uint64(threads*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+	return point(res, threads), vm.Stats()
+}
+
+// getOnlySpec is the 100%-get driver: one op, no roll, one key draw per
+// operation — one RandIntn per iteration, like the legacy loop.
+func getOnlySpec(keyRange int) workload.Spec {
+	return workload.Spec{
+		Ops:  []workload.Op{{Name: "get"}},
+		Keys: workload.Uniform(keyRange),
+	}
 }
 
 // DivideHashDemo shows why the benchmark Hashtable factored the divide out
@@ -160,6 +195,7 @@ func DivideHashDemo(o Options) (*Figure, error) {
 		YLabel: "throughput (ops/usec), simulated",
 	}
 	const keyRange = 4096
+	wl := workload.MustCompile(getOnlySpec(keyRange))
 	var names []string
 	var cells []pointCell
 	for _, divide := range []bool{false, true} {
@@ -178,18 +214,16 @@ func DivideHashDemo(o Options) (*Figure, error) {
 					vm := jvm.New(m, tle.DefaultPolicy())
 					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+64)
 					ht.DivideHash = divide
-					var keys []uint64
-					for k := 0; k < keyRange; k += 2 {
-						keys = append(keys, uint64(k))
-					}
-					ht.Prepopulate(m.Mem(), keys, 1)
+					ht.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							ht.Get(s, uint64(s.RandIntn(keyRange)))
-						}
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, _ int, key uint64) {
+							ht.Get(s, key)
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -210,6 +244,7 @@ func InlineDemo(o Options) (*Figure, error) {
 	o = o.Defaults()
 	const keyRange = 4096
 	mix := javaMix{2, 6, 2}
+	wl := workload.MustCompile(mix.spec(keyRange))
 	fig := &Figure{
 		Title:  "Section 7.2 (text): HashMap JIT inlining vs outlined put, TLE, mix 2:6:2",
 		YLabel: "throughput (ops/usec), simulated",
@@ -234,27 +269,23 @@ func InlineDemo(o Options) (*Figure, error) {
 					if outline {
 						hm.PutSite.OutlineAfter = o.OpsPerThread * th / 4
 					}
-					var keys []uint64
-					for k := 0; k < keyRange; k += 2 {
-						keys = append(keys, uint64(k))
-					}
-					hm.Prepopulate(m.Mem(), keys, 1)
+					hm.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							key := uint64(s.RandIntn(keyRange))
-							r := s.RandIntn(10)
-							switch {
-							case r < mix.put:
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+							switch op {
+							case workload.OpPut:
 								hm.Put(s, key, 1)
-							case r < mix.put+mix.get:
+							case workload.OpGet:
 								hm.Get(s, key)
 							default:
 								hm.Remove(s, key)
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -265,6 +296,23 @@ func InlineDemo(o Options) (*Figure, error) {
 	}
 	fig.Curves = curves
 	return fig, nil
+}
+
+// treeMapSpec is the TreeMap driver: key drawn first, then the roll out of
+// 100 with put getting floor(pctWrite/2), remove the remainder of the write
+// share (the legacy `r < pctWrite/2` / `r < pctWrite` thresholds), and get
+// the rest.
+func treeMapSpec(keys, pctWrite int) workload.Spec {
+	put := pctWrite / 2
+	return workload.Spec{
+		Ops: []workload.Op{
+			{Name: "put", Weight: put},
+			{Name: "remove", Weight: pctWrite - put},
+			{Name: "get", Weight: 100 - pctWrite},
+		},
+		Roll: 100,
+		Keys: workload.Uniform(keys),
+	}
 }
 
 // TreeMapDemo reconstructs the Section 7.2 TreeMap observation: good TLE
@@ -295,6 +343,7 @@ func TreeMapDemo(o Options) (*Figure, error) {
 			names = append(names, name)
 			for _, th := range o.Threads {
 				sc, elide, th := sc, elide, th
+				wl := workload.MustCompile(treeMapSpec(sc.keys, sc.pctWrite))
 				cells = append(cells, pointCell{
 					Spec: o.spec("treemap", name, th, machineCfg(th, 1<<22, o.Seed),
 						map[string]string{"keys": itoa(sc.keys), "write": itoa(sc.pctWrite)}),
@@ -303,27 +352,23 @@ func TreeMapDemo(o Options) (*Figure, error) {
 						vm := jvm.New(m, tle.DefaultPolicy())
 						vm.Elide = elide
 						tm := jcl.NewTreeMap(m, vm, sc.keys+2*th+64)
-						var keys []uint64
-						for k := 0; k < sc.keys; k += 2 {
-							keys = append(keys, uint64(k))
-						}
-						tm.Prepopulate(m.Mem(), keys, 1)
+						tm.Prepopulate(m.Mem(), workload.PrepopHalf(sc.keys), 1)
+						lat := o.latRecorder()
 						m.Run(func(s *sim.Strand) {
-							for i := 0; i < o.OpsPerThread; i++ {
-								key := uint64(s.RandIntn(sc.keys))
-								r := s.RandIntn(100)
-								switch {
-								case r < sc.pctWrite/2:
+							d := wl.Driver(s, lat)
+							d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+								switch op {
+								case 0:
 									tm.Put(s, key, 1)
-								case r < sc.pctWrite:
+								case 1:
 									tm.Remove(s, key)
 								default:
 									tm.Get(s, key)
 								}
-							}
+							})
 						})
-						res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-						return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+						res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+						return point(res, th), nil
 					},
 				})
 			}

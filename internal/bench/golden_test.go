@@ -67,6 +67,26 @@ var goldenFigures = []struct {
 		},
 		digest: "2bad19ae47781ac3fa00df620f477234",
 	},
+	{
+		// The tail-latency experiment's full rendered output — throughput
+		// plus the p50/p99.9 tables, the four-percentile CSV columns and
+		// the skew-inflation notes — pinned end to end: any drift in the
+		// zipfian generator, the latency histogram's bucketing or the
+		// driver's RNG sequencing shows up here.
+		name: "tail",
+		render: func() ([]byte, error) {
+			o := Options{Threads: []int{1, 2}, OpsPerThread: 200, Seed: 1}
+			f, err := TailFigure(o)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			f.Render(&buf)
+			f.CSV(&buf)
+			return buf.Bytes(), nil
+		},
+		digest: "b27cc7ec29aab6888fd6311100803969",
+	},
 }
 
 func TestGoldenFigureBytes(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"rocktm/internal/rbtree"
 	"rocktm/internal/runner"
 	"rocktm/internal/sim"
+	"rocktm/internal/workload"
 )
 
 // kvStructure is the surface the hash-table and red-black-tree experiments
@@ -36,29 +37,52 @@ type kvConfig struct {
 	memWords  int
 	build     func(m *sim.Machine, keyRange int) kvStructure
 	validate  func(st kvStructure, mem *sim.Memory) error
+
+	// keys optionally overrides the key distribution; the zero value means
+	// the legacy uniform draw over [0, keyRange). Skewed figures (the tail
+	// experiment) set it to a zipfian or hotspot distribution.
+	keys workload.Keys
+	// arrival optionally switches the drivers to an open-loop arrival
+	// process; the zero value is the legacy closed loop.
+	arrival workload.Arrival
+}
+
+// spec is the declarative form of the kv driver loop: key drawn first
+// (uniform over the key range unless overridden), then the lookup/insert/
+// delete roll out of 100 — exactly the legacy loop's RNG sequence.
+func (cfg kvConfig) spec() workload.Spec {
+	keys := cfg.keys
+	if keys.Dist == workload.KeyNone {
+		keys = workload.Uniform(cfg.keyRange)
+	}
+	sp := workload.KVSpec(keys, cfg.pctLookup)
+	sp.Arrival = cfg.arrival
+	return sp
 }
 
 // runKV measures one (system, threads) cell: prepopulate with half the key
-// range, then run opsPerThread random operations per thread.
+// range, then run opsPerThread operations per thread through the shared
+// workload driver.
 func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
 	m := machineFor(threads, cfg.memWords, o.Seed)
 	st := cfg.build(m, cfg.keyRange)
 	sys := sb.Build(m)
+	wl := workload.MustCompile(cfg.spec())
+	lat := o.latRecorder()
 	tr := o.startTrace(m)
 	m.Run(func(s *sim.Strand) {
 		ses := st.NewSession(sys, s)
-		for i := 0; i < o.OpsPerThread; i++ {
-			key := uint64(s.RandIntn(cfg.keyRange))
-			r := s.RandIntn(100)
-			switch {
-			case r < cfg.pctLookup:
+		d := wl.Driver(s, lat)
+		d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+			switch op {
+			case workload.OpLookup:
 				ses.Lookup(key)
-			case r < cfg.pctLookup+(100-cfg.pctLookup)/2:
+			case workload.OpInsert:
 				ses.Insert(key, 1)
 			default:
 				ses.Delete(key)
 			}
-		}
+		})
 	})
 	o.endTrace(tr, fmt.Sprintf("%s/%s@%dT", label, sb.Name, threads))
 	if cfg.validate != nil {
@@ -66,21 +90,27 @@ func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (P
 			return Point{}, fmt.Errorf("%s/%d threads: %w", sb.Name, threads, err)
 		}
 	}
-	res := runResult{
-		ops:     uint64(threads * o.OpsPerThread),
-		seconds: m.ElapsedSeconds(),
-		stats:   sys.Stats(),
-	}
-	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+	res := workload.NewResult(uint64(threads*o.OpsPerThread), m.ElapsedSeconds(), sys.Stats(), lat)
+	return point(res, threads), nil
 }
 
 // kvSpec identifies one key-value cell for the runner's cache: the exact
-// machine configuration plus the workload knobs the config cannot see.
+// machine configuration plus the workload knobs the config cannot see. The
+// legacy params ("keyrange", "lookup") are kept verbatim so pre-refactor
+// cache entries still key identically; new dimensions (skewed keys,
+// open-loop arrivals) append only when active.
 func kvSpec(o Options, name string, cfg kvConfig, system string, threads int) runner.Spec {
-	return o.spec(name, system, threads, machineCfg(threads, cfg.memWords, o.Seed), map[string]string{
+	params := map[string]string{
 		"keyrange": itoa(cfg.keyRange),
 		"lookup":   itoa(cfg.pctLookup),
-	})
+	}
+	if cfg.keys.Dist != workload.KeyNone {
+		params["skew"] = cfg.keys.String()
+	}
+	if cfg.arrival.MeanGap > 0 {
+		params["arrival"] = cfg.arrival.String()
+	}
+	return o.spec(name, system, threads, machineCfg(threads, cfg.memWords, o.Seed), params)
 }
 
 // kvFigure sweeps all systems across the thread axis. Each (system,
@@ -132,40 +162,15 @@ func (t rbKV) NewSession(sys core.System, s *sim.Strand) kvSession {
 func hashtableKV(buckets int) func(m *sim.Machine, keyRange int) kvStructure {
 	return func(m *sim.Machine, keyRange int) kvStructure {
 		t := hashtable.New(m, buckets, keyRange+2*m.Config().Strands+64)
-		var keys []uint64
-		for k := 0; k < keyRange; k += 2 {
-			keys = append(keys, uint64(k))
-		}
-		t.Prepopulate(m.Mem(), keys, 1)
+		t.Prepopulate(m.Mem(), workload.PrepopHalf(keyRange), 1)
 		return htKV{t}
 	}
 }
 
 func rbtreeKV(m *sim.Machine, keyRange int) kvStructure {
 	t := rbtree.New(m, keyRange+2*m.Config().Strands+64)
-	t.Prepopulate(m.Mem(), shuffledEvenKeys(keyRange, 7), 1)
+	t.Prepopulate(m.Mem(), workload.PrepopHalfShuffled(keyRange, 7), 1)
 	return rbKV{t}
-}
-
-// shuffledEvenKeys returns every second key in [0, keyRange) in a
-// deterministic shuffled order. Prepopulating a red-black tree in
-// ascending order is pathological in a way the paper's random workloads
-// are not: with sequential node allocation the tree's upper spine lands on
-// node indices 2^k-1, aliasing the whole hot path into one L1 set.
-func shuffledEvenKeys(keyRange int, seed uint64) []uint64 {
-	keys := make([]uint64, 0, keyRange/2)
-	for k := 0; k < keyRange; k += 2 {
-		keys = append(keys, uint64(k))
-	}
-	state := seed
-	for i := len(keys) - 1; i > 0; i-- {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		j := int(state % uint64(i+1))
-		keys[i], keys[j] = keys[j], keys[i]
-	}
-	return keys
 }
 
 // Fig1a reconstructs Figure 1(a): hash table, 2^17 buckets, 50% inserts /

@@ -7,6 +7,7 @@ import (
 	"rocktm/internal/policy"
 	"rocktm/internal/sim"
 	"rocktm/internal/stm/sky"
+	"rocktm/internal/workload"
 )
 
 // The policy-ablation workload: the Figure 2(b) red-black tree (2048 keys,
@@ -44,29 +45,26 @@ func runPolicyCell(o Options, polName, profile string, threads int) (Point, erro
 	pcfg := phtm.DefaultConfig()
 	sys := phtm.New(m, sky.New(m), pcfg)
 	sys.SetPolicy(policy.MustNew(polName, pcfg.Tuning()))
+	wl := workload.MustCompile(workload.KVSpec(workload.Uniform(policyKeyRange), policyPctLookup))
+	lat := o.latRecorder()
 	tr := o.startTrace(m)
 	m.Run(func(s *sim.Strand) {
 		ses := st.NewSession(sys, s)
-		for i := 0; i < o.OpsPerThread; i++ {
-			key := uint64(s.RandIntn(policyKeyRange))
-			r := s.RandIntn(100)
-			switch {
-			case r < policyPctLookup:
+		d := wl.Driver(s, lat)
+		d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+			switch op {
+			case workload.OpLookup:
 				ses.Lookup(key)
-			case r < policyPctLookup+(100-policyPctLookup)/2:
+			case workload.OpInsert:
 				ses.Insert(key, 1)
 			default:
 				ses.Delete(key)
 			}
-		}
+		})
 	})
 	o.endTrace(tr, fmt.Sprintf("policy/%s-%s@%dT", polName, profile, threads))
-	res := runResult{
-		ops:     uint64(threads * o.OpsPerThread),
-		seconds: m.ElapsedSeconds(),
-		stats:   sys.Stats(),
-	}
-	return Point{Threads: threads, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+	res := workload.NewResult(uint64(threads*o.OpsPerThread), m.ElapsedSeconds(), sys.Stats(), lat)
+	return point(res, threads), nil
 }
 
 // PolicyFigure produces the policy × fault-profile ablation table: every

@@ -9,6 +9,7 @@ import (
 	"rocktm/internal/jvm"
 	"rocktm/internal/sim"
 	"rocktm/internal/tle"
+	"rocktm/internal/workload"
 )
 
 // counterCfg is the counter experiment's machine configuration: short
@@ -23,6 +24,12 @@ func counterCfg(threads int, seed uint64) sim.Config {
 	return cfg
 }
 
+// counterSpec is the counter driver: one keyless op, no roll — the legacy
+// loop drew nothing from the strand RNG and neither does this.
+func counterSpec() workload.Spec {
+	return workload.Spec{Ops: []workload.Op{{Name: "inc", NoKey: true}}}
+}
+
 // CounterFigure reconstructs the Section 4 counter experiment: CAS-based
 // and HTM-based increments of one shared counter, with and without
 // backoff. The HTM-without-backoff curve shows the requester-wins
@@ -33,6 +40,7 @@ func CounterFigure(o Options) (*Figure, error) {
 		Title:  "Section 4 counter: CAS vs HTM increments, with/without backoff",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	wl := workload.MustCompile(counterSpec())
 	methods := []counter.Method{counter.CAS, counter.CASBackoff, counter.HTM, counter.HTMBackoff}
 	var names []string
 	var cells []pointCell
@@ -45,18 +53,20 @@ func CounterFigure(o Options) (*Figure, error) {
 				Compute: func() (Point, error) {
 					m := sim.New(counterCfg(th, o.Seed))
 					ctr := counter.New(m)
+					lat := o.latRecorder()
 					tr := o.startTrace(m)
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, _ int, _ uint64) {
 							ctr.Inc(s, method)
-						}
+						})
 					})
 					o.endTrace(tr, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
 					if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
 						return Point{}, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
 					}
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: ctr.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), ctr.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -67,6 +77,31 @@ func CounterFigure(o Options) (*Figure, error) {
 	}
 	fig.Curves = curves
 	return fig, nil
+}
+
+// dcasSetSpec is the DCAS set driver: key drawn first from [1, keyRange],
+// then a 1/3 each insert/remove/contains roll out of 3.
+func dcasSetSpec(keyRange int) workload.Spec {
+	return workload.Spec{
+		Ops: []workload.Op{
+			{Name: "insert", Weight: 1},
+			{Name: "remove", Weight: 1},
+			{Name: "contains", Weight: 1},
+		},
+		Roll: 3,
+		Keys: workload.UniformOffset(keyRange, 1),
+	}
+}
+
+// dcasQueueSpec is the FIFO queue driver: keyless 50/50 enqueue/dequeue.
+func dcasQueueSpec() workload.Spec {
+	return workload.Spec{
+		Ops: []workload.Op{
+			{Name: "enqueue", Weight: 1, NoKey: true},
+			{Name: "dequeue", Weight: 1, NoKey: true},
+		},
+		Roll: 2,
+	}
 }
 
 // DCASFigure reconstructs the Section 4 comparison of DCAS-based
@@ -82,6 +117,8 @@ func DCASFigure(o Options) (*Figure, error) {
 		Title:  "Section 4 DCAS sets: DCAS list vs hand-crafted lock-free list, keyrange=256",
 		YLabel: "throughput (ops/usec), simulated",
 	}
+	setWL := workload.MustCompile(dcasSetSpec(keyRange))
+	queueWL := workload.MustCompile(dcasQueueSpec())
 	type setIface interface {
 		Insert(s *sim.Strand, key uint64) bool
 		Remove(s *sim.Strand, key uint64) bool
@@ -110,10 +147,11 @@ func DCASFigure(o Options) (*Figure, error) {
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<23, o.Seed)
 					set := b.build(m)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							key := uint64(1 + s.RandIntn(keyRange))
-							switch s.RandIntn(3) {
+						d := setWL.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
+							switch op {
 							case 0:
 								set.Insert(s, key)
 							case 1:
@@ -121,10 +159,10 @@ func DCASFigure(o Options) (*Figure, error) {
 							default:
 								set.Contains(s, key)
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
-					return Point{Threads: th, OpsPerUsec: res.throughput()}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), nil, lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -153,17 +191,19 @@ func DCASFigure(o Options) (*Figure, error) {
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<23, o.Seed)
 					q := b.build(m)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
-						for i := 0; i < o.OpsPerThread; i++ {
-							if s.RandIntn(2) == 0 {
+						d := queueWL.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(i, op int, _ uint64) {
+							if op == 0 {
 								q.Enqueue(s, sim.Word(i))
 							} else {
 								q.Dequeue(s)
 							}
-						}
+						})
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds()}
-					return Point{Threads: th, OpsPerUsec: res.throughput()}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), nil, lat)
+					return point(res, th), nil
 				},
 			})
 		}
@@ -176,6 +216,23 @@ func DCASFigure(o Options) (*Figure, error) {
 	return fig, nil
 }
 
+// volanoSpec is the chat driver: the op rolls first out of 100, and only
+// the room-switch op draws a key (the new room). Post and read reuse the
+// strand's sticky room, so they are keyless — the conditional key draw
+// that motivated Op.NoKey.
+func volanoSpec(rooms int) workload.Spec {
+	return workload.Spec{
+		Ops: []workload.Op{
+			{Name: "join", Weight: 10},
+			{Name: "post", Weight: 30, NoKey: true},
+			{Name: "read", Weight: 60, NoKey: true},
+		},
+		Roll:  100,
+		Keys:  workload.Uniform(rooms),
+		Order: workload.OpThenKey,
+	}
+}
+
 // VolanoFigure reconstructs the VolanoMark-style observation closing
 // Section 7.2: a chat-server workload run with plain monitors, with TLE
 // code emitted but disabled (paying the code-bloat cost), and with TLE
@@ -183,6 +240,7 @@ func DCASFigure(o Options) (*Figure, error) {
 func VolanoFigure(o Options) (*Figure, error) {
 	o = o.Defaults()
 	const rooms = 16
+	wl := workload.MustCompile(volanoSpec(rooms))
 	configs := []struct {
 		name        string
 		emit, elide bool
@@ -210,25 +268,26 @@ func VolanoFigure(o Options) (*Figure, error) {
 					vm.EmitTLE = cc.emit
 					vm.Elide = cc.elide
 					srv := chat.NewServer(m, vm, rooms)
+					lat := o.latRecorder()
 					m.Run(func(s *sim.Strand) {
 						room := s.ID() % rooms
 						srv.Join(s, room)
-						for i := 0; i < o.OpsPerThread; i++ {
-							r := s.RandIntn(100)
-							switch {
-							case r < 10:
-								room = s.RandIntn(rooms)
+						d := wl.Driver(s, lat)
+						d.Run(o.OpsPerThread, func(i, op int, key uint64) {
+							switch op {
+							case 0:
+								room = int(key)
 								srv.Join(s, room)
-							case r < 40:
+							case 1:
 								srv.Post(s, room, sim.Word(i))
 							default:
 								srv.ReadRecent(s, room, 8)
 							}
-						}
+						})
 						srv.Leave(s, room)
 					})
-					res := runResult{ops: uint64(th * o.OpsPerThread), seconds: m.ElapsedSeconds(), stats: vm.Stats()}
-					return Point{Threads: th, OpsPerUsec: res.throughput(), Extra: summarizeStats(res.stats)}, nil
+					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
+					return point(res, th), nil
 				},
 			})
 		}

@@ -51,7 +51,11 @@ type Spec struct {
 	// (sim.Config.Digest): cache safety against config drift.
 	SimDigest string `json:"sim_digest"`
 	// Params carries any extra cell parameters (key range, operation mix,
-	// grid dimensions, chip mode, ...) in canonical (sorted) order.
+	// grid dimensions, chip mode, ...) in canonical (sorted) order. The
+	// workload layer contributes its knobs here too — "skew" and "arrival"
+	// in the canonical workload.Keys/Arrival string forms, and "lat" when
+	// latency capture is on — so skewed, open-loop and latency-carrying
+	// cells never alias their plain counterparts in the cache.
 	Params map[string]string `json:"params,omitempty"`
 }
 

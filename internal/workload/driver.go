@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+
+	"rocktm/internal/obs"
+	"rocktm/internal/sim"
+)
+
+// prng is a splitmix64 stream for the open-loop arrival process. It is
+// deliberately separate from the strand's simulator RNG: an open-loop run
+// consumes exactly the same strand-RNG sequence as its closed-loop twin,
+// so turning arrivals on cannot change which keys and ops are drawn (the
+// same stream-separation discipline sim's fault injector uses).
+type prng struct{ state uint64 }
+
+func (r *prng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float01 returns a uniform float64 in (0, 1] (never 0, so ln(u) is finite).
+func (r *prng) float01() float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// arrivalSeed folds the spec seed with the strand ID the same way
+// sim.newStrand folds the machine seed, so per-strand streams are
+// mutually independent and seed-stable.
+func arrivalSeed(seed uint64, strand int) uint64 {
+	return seed*0x9e3779b9 + uint64(strand)*0x85ebca77 + 1
+}
+
+// Driver executes a compiled workload on one strand. Create one per strand
+// per run via Compiled.Driver; the steady-state per-operation path (key
+// draw, op roll, arrival bookkeeping, latency record) allocates nothing.
+type Driver struct {
+	c     *Compiled
+	s     *sim.Strand
+	lat   *obs.LatencyRecorder
+	arr   prng
+	tNext int64
+}
+
+// Driver binds the compiled workload to a strand. lat may be nil (no
+// latency capture). The recorder may be shared by all strands of a run:
+// the machine baton serializes strand execution, so a single histogram is
+// race-free and merges for free.
+func (c *Compiled) Driver(s *sim.Strand, lat *obs.LatencyRecorder) Driver {
+	d := Driver{c: c, s: s, lat: lat}
+	if c.meanGap > 0 {
+		d.arr = prng{state: arrivalSeed(c.arrSeed, s.ID())}
+		d.tNext = s.Clock()
+	}
+	return d
+}
+
+// Run executes n operations, invoking do(i, op, key) for each: i is the
+// iteration index (the legacy loops' loop variable), op indexes the spec's
+// Ops slice, and key is the drawn key (0 for keyless ops). Per-operation
+// latency — begin to completion in simulated cycles, including every
+// hardware retry, backoff and fallback inside the op, and, for open-loop
+// arrivals, any queueing delay — is recorded into the attached recorder.
+func (d *Driver) Run(n int, do func(i, op int, key uint64)) {
+	open := d.c.meanGap > 0
+	for i := 0; i < n; i++ {
+		start := d.s.Clock()
+		if open {
+			d.tNext += d.gap()
+			if d.tNext > start {
+				// The strand is idle until the next arrival.
+				d.s.Advance(d.tNext - start)
+			}
+			// Latency is measured from the *arrival* time: when the strand
+			// is running behind, the op waited in queue and that delay is
+			// part of its latency.
+			start = d.tNext
+		}
+		op, key := d.next()
+		do(i, op, key)
+		if d.lat != nil {
+			d.lat.Record(d.s.Clock() - start)
+		}
+	}
+}
+
+// gap draws one exponential inter-arrival gap (mean meanGap cycles, min 1).
+func (d *Driver) gap() int64 {
+	g := -d.c.meanGap * math.Log(d.arr.float01())
+	if g < 1 {
+		return 1
+	}
+	return int64(g)
+}
+
+// next draws the next (op, key) pair in the spec's declared RNG order.
+func (d *Driver) next() (op int, key uint64) {
+	if d.c.order == KeyThenOp {
+		key = d.key()
+		op = d.roll()
+		return op, key
+	}
+	op = d.roll()
+	if !d.c.ops[op].NoKey {
+		key = d.key()
+	}
+	return op, key
+}
+
+// roll selects an op by cumulative weight, consuming one RandIntn(Roll)
+// from the strand RNG — or nothing at all for single-op no-roll specs,
+// matching the legacy drivers that never rolled.
+func (d *Driver) roll() int {
+	if d.c.roll == 0 {
+		return 0
+	}
+	r := d.s.RandIntn(d.c.roll)
+	for i, cum := range d.c.cum {
+		if r < cum {
+			return i
+		}
+	}
+	return len(d.c.cum) - 1
+}
+
+// key draws one key from the spec's distribution.
+func (d *Driver) key() uint64 {
+	k := &d.c.keys
+	switch k.Dist {
+	case KeyUniform:
+		return k.Offset + uint64(d.s.RandIntn(k.Range))
+	case KeyZipfian:
+		// One 64-bit draw, mapped through the precomputed constants.
+		u := float64(d.s.Rand()>>11) / (1 << 53)
+		return k.Offset + uint64(d.c.zipf.draw(u))
+	case KeyHotspot:
+		// Two draws: the region roll, then the in-region index — both from
+		// the strand RNG so the stream stays strand-deterministic.
+		if d.s.RandIntn(100) < k.HotPct {
+			return k.Offset + uint64(d.s.RandIntn(d.c.hotN))
+		}
+		return k.Offset + uint64(d.c.hotN) + uint64(d.s.RandIntn(k.Range-d.c.hotN))
+	}
+	return 0 // KeyNone
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+)
+
+// Result is what one timed workload run reports. It replaces the three
+// near-identical per-figure throughput paths (the bench layer's runResult,
+// the MSF sweep's inline seconds math and the ad-hoc per-cell Point
+// assembly) with one helper every figure shares.
+type Result struct {
+	// Ops is the total completed operation count across all strands.
+	Ops uint64
+	// Seconds is the run's simulated wall-clock time.
+	Seconds float64
+	// Stats is the synchronization system's cumulative statistics (may be
+	// nil for systems that keep none).
+	Stats *core.Stats
+	// Lat is the per-operation latency digest when the run recorded one.
+	Lat *obs.LatencySummary
+}
+
+// NewResult assembles a Result; lat may be nil.
+func NewResult(ops uint64, seconds float64, stats *core.Stats, lat *obs.LatencyRecorder) Result {
+	r := Result{Ops: ops, Seconds: seconds, Stats: stats}
+	if lat != nil {
+		s := lat.Summarize()
+		r.Lat = &s
+	}
+	return r
+}
+
+// Throughput returns operations per microsecond of simulated time — the
+// y axis of every throughput figure.
+func (r Result) Throughput() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (r.Seconds * 1e6)
+}
+
+// Summary renders the annotations the paper quotes alongside its graphs:
+// the hardware-retry fraction, the lock/STM fallback fraction, and the
+// dominant CPS failure value.
+func (r Result) Summary() string { return StatsSummary(r.Stats) }
+
+// StatsSummary is Summary for a bare stats struct (nil-safe).
+func StatsSummary(st *core.Stats) string {
+	if st == nil {
+		return ""
+	}
+	parts := []string{}
+	if st.HWAttempts > 0 {
+		parts = append(parts, fmt.Sprintf("retry=%.1f%%", 100*st.RetryFraction()))
+	}
+	if st.Ops > 0 && st.LockAcquires > 0 {
+		parts = append(parts, fmt.Sprintf("lock=%.2f%%", 100*float64(st.LockAcquires)/float64(st.Ops)))
+	}
+	if st.Ops > 0 && st.SWCommits > 0 {
+		parts = append(parts, fmt.Sprintf("sw=%.2f%%", 100*float64(st.SWCommits)/float64(st.Ops)))
+	}
+	if st.CPSHist != nil && st.CPSHist.Total() > 0 {
+		dom, frac := st.CPSHist.Dominant()
+		parts = append(parts, fmt.Sprintf("cps[%s]=%.0f%%", dom, 100*frac))
+	}
+	return strings.Join(parts, " ")
+}

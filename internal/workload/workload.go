@@ -1,0 +1,353 @@
+// Package workload is the declarative workload layer: every figure driver
+// in internal/bench describes *what* its per-strand operation stream looks
+// like — the operation mix, the key distribution, the prepopulation and
+// the arrival process — as a workload.Spec, and runs it through one shared,
+// allocation-free per-strand Driver instead of a hand-rolled loop.
+//
+// Two disciplines make the layer safe to adopt under the repository's
+// byte-identity regime (see internal/bench/golden_test.go):
+//
+//   - RNG-sequence preservation: for the paper's closed-loop uniform
+//     configurations the Driver consumes the strand's random stream in
+//     exactly the order the legacy loops did (key draw, then op roll — or
+//     roll first where the original drew in that order), so every
+//     pre-existing golden figure digest is unchanged.
+//   - Stream separation: the open-loop arrival process draws from a
+//     dedicated per-strand splitmix64 stream, never from the strand's
+//     simulator RNG, so enabling open-loop arrivals cannot perturb the
+//     op/key sequence of an otherwise-identical closed-loop run.
+//
+// New dimensions (zipfian/hotspot skew, open-loop arrivals) are plain Spec
+// fields; they render through Keys.String/Arrival.String into
+// runner.Spec.Params so the content-addressed result cache keys them.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist selects a key distribution.
+type Dist uint8
+
+const (
+	// KeyNone draws no keys at all (counter increments, queue ops).
+	KeyNone Dist = iota
+	// KeyUniform draws uniformly from [Offset, Offset+Range).
+	KeyUniform
+	// KeyZipfian draws from [Offset, Offset+Range) with Zipf parameter
+	// Theta in (0,1): rank-0 keys are hottest (Gray et al.'s generator,
+	// the same family YCSB uses).
+	KeyZipfian
+	// KeyHotspot sends HotPct percent of accesses to the first
+	// ceil(HotFrac*Range) keys and the rest to the remainder, all
+	// uniformly within each region.
+	KeyHotspot
+)
+
+// Keys describes the key distribution of a Spec.
+type Keys struct {
+	Dist   Dist
+	Range  int
+	Offset uint64
+	// Theta is the zipfian skew parameter, in (0,1); larger is more skewed.
+	Theta float64
+	// HotFrac is the hotspot fraction of the keyspace, in (0,1).
+	HotFrac float64
+	// HotPct is the percentage of accesses sent to the hot region.
+	HotPct int
+}
+
+// Uniform draws keys uniformly from [0, r).
+func Uniform(r int) Keys { return Keys{Dist: KeyUniform, Range: r} }
+
+// UniformOffset draws keys uniformly from [off, off+r).
+func UniformOffset(r int, off uint64) Keys {
+	return Keys{Dist: KeyUniform, Range: r, Offset: off}
+}
+
+// Zipfian draws keys zipf-distributed over [0, r) with parameter theta.
+func Zipfian(r int, theta float64) Keys {
+	return Keys{Dist: KeyZipfian, Range: r, Theta: theta}
+}
+
+// Hotspot sends hotPct% of accesses to the first ceil(hotFrac*r) keys.
+func Hotspot(r int, hotFrac float64, hotPct int) Keys {
+	return Keys{Dist: KeyHotspot, Range: r, HotFrac: hotFrac, HotPct: hotPct}
+}
+
+// String renders the distribution canonically for cache keys and labels.
+func (k Keys) String() string {
+	switch k.Dist {
+	case KeyNone:
+		return "none"
+	case KeyUniform:
+		if k.Offset != 0 {
+			return fmt.Sprintf("uniform:%d+%d", k.Range, k.Offset)
+		}
+		return fmt.Sprintf("uniform:%d", k.Range)
+	case KeyZipfian:
+		return fmt.Sprintf("zipf:%d:%g", k.Range, k.Theta)
+	case KeyHotspot:
+		return fmt.Sprintf("hot:%d:%g:%d", k.Range, k.HotFrac, k.HotPct)
+	}
+	return "invalid"
+}
+
+// Op is one operation class of a mix. Weight is in units of the Spec's
+// Roll denominator; ops are selected by cumulative threshold in slice
+// order, reproducing the legacy `switch { case r < a: ... case r < b: }`
+// drivers exactly.
+type Op struct {
+	Name   string
+	Weight int
+	// NoKey marks an op that draws no key. Only meaningful under
+	// OpThenKey ordering (the conditional key draw of the chat workload);
+	// under KeyThenOp the single up-front key draw is shared by all ops.
+	NoKey bool
+}
+
+// Order fixes the relative order of the key draw and the op roll, because
+// the legacy drivers disagree and the RNG call sequence must be preserved.
+type Order uint8
+
+const (
+	// KeyThenOp draws the key first, then rolls the op — the kv drivers.
+	KeyThenOp Order = iota
+	// OpThenKey rolls the op first, then draws the key (skipped for NoKey
+	// ops) — the vector and chat drivers.
+	OpThenKey
+)
+
+// Arrival describes the arrival process. The zero value is closed-loop:
+// each operation starts the instant the previous one finishes, exactly the
+// paper's drivers. A positive MeanGap switches to an open-loop process
+// with exponentially distributed inter-arrival gaps (mean MeanGap cycles)
+// drawn from a dedicated seeded stream; operations that arrive while the
+// strand is still busy queue, and their measured latency includes the
+// queueing delay — the property that exposes tail collapse under load.
+type Arrival struct {
+	// MeanGap is the mean inter-arrival gap in simulated cycles
+	// (0 = closed loop).
+	MeanGap float64
+	// Seed seeds the per-strand inter-arrival streams (folded with the
+	// strand ID, so strands are mutually independent). Ignored when
+	// closed-loop.
+	Seed uint64
+}
+
+// String renders the arrival process canonically for cache keys.
+func (a Arrival) String() string {
+	if a.MeanGap <= 0 {
+		return "closed"
+	}
+	return fmt.Sprintf("open:%g:%d", a.MeanGap, a.Seed)
+}
+
+// Spec declaratively describes one per-strand operation stream.
+type Spec struct {
+	// Ops is the operation mix, selected by cumulative weight in slice
+	// order. A single op with Roll == 0 draws no op roll at all (the
+	// counter and divide drivers).
+	Ops []Op
+	// Roll is the op-roll denominator (the legacy drivers' RandIntn
+	// argument: 100, 10, 3, 2). Weights must sum to Roll.
+	Roll int
+	// Keys is the key distribution.
+	Keys Keys
+	// Order is the key-draw/op-roll order.
+	Order Order
+	// Arrival is the arrival process (zero value: closed loop).
+	Arrival Arrival
+}
+
+// KVMix returns the paper drivers' canonical lookup/insert/delete split
+// out of 100: lookups get pctLookup, inserts (100-pctLookup)/2 — integer
+// division — and deletes the remainder. When the non-lookup share is odd,
+// the extra point goes to deletes, exactly the legacy
+// `r < pctLookup+(100-pctLookup)/2` threshold arithmetic. OpLookup,
+// OpInsert and OpDelete index the result.
+func KVMix(pctLookup int) []Op {
+	ins := (100 - pctLookup) / 2
+	return []Op{
+		{Name: "lookup", Weight: pctLookup},
+		{Name: "insert", Weight: ins},
+		{Name: "delete", Weight: 100 - pctLookup - ins},
+	}
+}
+
+// Indices into KVMix's result.
+const (
+	OpLookup = 0
+	OpInsert = 1
+	OpDelete = 2
+)
+
+// KVSpec is the standard key-value workload: keys drawn first (from any
+// distribution), then the KVMix roll out of 100 — the shape of every
+// Figure 1/2 driver.
+func KVSpec(keys Keys, pctLookup int) Spec {
+	return Spec{Ops: KVMix(pctLookup), Roll: 100, Keys: keys}
+}
+
+// TenthsMix returns the Java-benchmark put/get/remove split out of 10
+// (Figure 3(b)'s 2:6:2-style mixes). OpPut, OpGet and OpRemove index it.
+func TenthsMix(put, get int) []Op {
+	return []Op{
+		{Name: "put", Weight: put},
+		{Name: "get", Weight: get},
+		{Name: "remove", Weight: 10 - put - get},
+	}
+}
+
+// Indices into TenthsMix's result.
+const (
+	OpPut    = 0
+	OpGet    = 1
+	OpRemove = 2
+)
+
+// Validate reports whether the spec is well-formed.
+func (sp Spec) Validate() error {
+	if len(sp.Ops) == 0 {
+		return fmt.Errorf("workload: spec has no ops")
+	}
+	if sp.Roll == 0 {
+		if len(sp.Ops) != 1 {
+			return fmt.Errorf("workload: Roll=0 requires exactly one op, got %d", len(sp.Ops))
+		}
+	} else {
+		sum := 0
+		for _, op := range sp.Ops {
+			if op.Weight < 0 {
+				return fmt.Errorf("workload: op %q has negative weight", op.Name)
+			}
+			sum += op.Weight
+		}
+		if sum != sp.Roll {
+			return fmt.Errorf("workload: op weights sum to %d, want Roll=%d", sum, sp.Roll)
+		}
+	}
+	k := sp.Keys
+	switch k.Dist {
+	case KeyNone:
+	case KeyUniform:
+		if k.Range <= 0 {
+			return fmt.Errorf("workload: uniform keys need Range > 0")
+		}
+	case KeyZipfian:
+		if k.Range < 2 {
+			return fmt.Errorf("workload: zipfian keys need Range >= 2")
+		}
+		if !(k.Theta > 0 && k.Theta < 1) {
+			return fmt.Errorf("workload: zipfian Theta must be in (0,1), got %g", k.Theta)
+		}
+	case KeyHotspot:
+		if k.Range < 2 {
+			return fmt.Errorf("workload: hotspot keys need Range >= 2")
+		}
+		if !(k.HotFrac > 0 && k.HotFrac < 1) {
+			return fmt.Errorf("workload: hotspot HotFrac must be in (0,1), got %g", k.HotFrac)
+		}
+		if k.HotPct < 0 || k.HotPct > 100 {
+			return fmt.Errorf("workload: hotspot HotPct must be in [0,100], got %d", k.HotPct)
+		}
+	default:
+		return fmt.Errorf("workload: unknown key distribution %d", k.Dist)
+	}
+	if sp.Arrival.MeanGap < 0 {
+		return fmt.Errorf("workload: negative arrival MeanGap")
+	}
+	return nil
+}
+
+// Compiled is the validated, immutable execution form of a Spec: the
+// cumulative op thresholds and the zipfian constants are precomputed once
+// and shared read-only by every strand's Driver.
+type Compiled struct {
+	ops     []Op
+	cum     []int
+	roll    int
+	order   Order
+	keys    Keys
+	hotN    int
+	zipf    zipfParams
+	meanGap float64
+	arrSeed uint64
+}
+
+// Compile validates and precomputes a Spec.
+func (sp Spec) Compile() (*Compiled, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		ops:     append([]Op(nil), sp.Ops...),
+		roll:    sp.Roll,
+		order:   sp.Order,
+		keys:    sp.Keys,
+		meanGap: sp.Arrival.MeanGap,
+		arrSeed: sp.Arrival.Seed,
+	}
+	if sp.Roll > 0 {
+		c.cum = make([]int, len(sp.Ops))
+		sum := 0
+		for i, op := range sp.Ops {
+			sum += op.Weight
+			c.cum[i] = sum
+		}
+	}
+	switch sp.Keys.Dist {
+	case KeyZipfian:
+		c.zipf = newZipf(sp.Keys.Range, sp.Keys.Theta)
+	case KeyHotspot:
+		c.hotN = int(math.Ceil(sp.Keys.HotFrac * float64(sp.Keys.Range)))
+		if c.hotN < 1 {
+			c.hotN = 1
+		}
+		if c.hotN >= sp.Keys.Range {
+			c.hotN = sp.Keys.Range - 1
+		}
+	}
+	return c, nil
+}
+
+// MustCompile is Compile for statically known specs.
+func MustCompile(sp Spec) *Compiled {
+	c, err := sp.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Ops returns the compiled op mix (read-only).
+func (c *Compiled) Ops() []Op { return c.ops }
+
+// PrepopHalf returns every second key in [0, keyRange) in ascending order —
+// the paper's standard "half full" prepopulation for hash tables.
+func PrepopHalf(keyRange int) []uint64 {
+	keys := make([]uint64, 0, (keyRange+1)/2)
+	for k := 0; k < keyRange; k += 2 {
+		keys = append(keys, uint64(k))
+	}
+	return keys
+}
+
+// PrepopHalfShuffled returns the same keys in a deterministic
+// xorshift-shuffled order. Prepopulating a red-black tree in ascending
+// order is pathological in a way the paper's random workloads are not:
+// with sequential node allocation the tree's upper spine lands on node
+// indices 2^k-1, aliasing the whole hot path into one L1 set.
+func PrepopHalfShuffled(keyRange int, seed uint64) []uint64 {
+	keys := PrepopHalf(keyRange)
+	state := seed
+	for i := len(keys) - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
