@@ -14,6 +14,9 @@
 //	figures -exp tail                # skew x system latency percentiles
 //	figures -latency -exp fig2b      # add p50/p90/p99/p99.9 to any figure
 //	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
+//	figures -exp timeline            # windowed timeseries + detectors + SLOs
+//	figures -exp tail -timeline w.json    # window series of any experiment
+//	figures -timeline-window 16384   # window width in simulated cycles
 //	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
 //	figures -no-cache                # recompute every cell
 //	figures -cache-dir /tmp/rc       # result cache location
@@ -28,11 +31,12 @@
 // Experiments: fig1a fig1b fig1ro fig2a fig2b fig3a fig3b counter dcas
 // divide inline treemap volano fig4 msfse profile attrib, the tail
 // latency experiment tail (zipfian skew × system, percentile tables, see
-// docs/WORKLOADS.md), plus the ablations ablate-retry (PhTM retry
-// budget), ablate-ucti (UCTI failure weight), ablate-throttle (adaptive
-// concurrency throttling extension) and policy (retry policy ×
-// fault-injection profile, see docs/POLICY.md and
-// docs/ABORT-PLAYBOOK.md).
+// docs/WORKLOADS.md), the windowed-timeseries experiment timeline
+// (pathology detectors + SLO burn rates, see docs/OBSERVABILITY.md),
+// plus the ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI
+// failure weight), ablate-throttle (adaptive concurrency throttling
+// extension) and policy (retry policy × fault-injection profile, see
+// docs/POLICY.md and docs/ABORT-PLAYBOOK.md).
 package main
 
 import (
@@ -42,12 +46,14 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"rocktm/internal/bench"
 	"rocktm/internal/obs"
+	"rocktm/internal/obs/timeseries"
 	"rocktm/internal/runner"
 )
 
@@ -58,14 +64,16 @@ type experiment struct {
 	run  func() (*bench.Figure, error)
 }
 
-// experimentNames returns every valid -exp name in display order,
-// including the two non-figure reports.
+// experimentNames returns every valid -exp name, including the two
+// non-figure reports, sorted so `-exp list` output is stable and
+// scannable regardless of catalogue growth.
 func experimentNames(experiments []experiment) []string {
 	names := make([]string, 0, len(experiments)+2)
 	for _, e := range experiments {
 		names = append(names, e.name)
 	}
 	names = append(names, "attrib", "profile")
+	sort.Strings(names)
 	return names
 }
 
@@ -98,28 +106,58 @@ func parseExpFlag(value string, valid []string) (map[string]bool, error) {
 	return selected, nil
 }
 
+// cliFlags holds every command-line option. Registration happens on an
+// explicit FlagSet so tests can assert the flag surface without parsing a
+// real command line.
+type cliFlags struct {
+	exp      *string
+	ops      *int
+	threads  *string
+	seed     *uint64
+	csv      *bool
+	latency  *bool
+	json     *bool
+	trace    *string
+	timeline *string
+	tlWindow *int64
+	msfDim   *int
+	profOps  *int
+	cpuProf  *string
+	memProf  *string
+	parallel *int
+	cacheDir *string
+	noCache  *bool
+	progress *bool
+	cellTime *time.Duration
+}
+
+// registerFlags declares the full flag surface on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		exp:      fs.String("exp", "all", "comma-separated experiment names, 'all', or 'list'"),
+		ops:      fs.Int("ops", 4000, "operations per thread"),
+		threads:  fs.String("threads", "1,2,3,4,6,8,12,16", "thread counts"),
+		seed:     fs.Uint64("seed", 1, "experiment seed"),
+		csv:      fs.Bool("csv", false, "also emit CSV rows"),
+		latency:  fs.Bool("latency", false, "record per-operation latency and add p50/p90/p99/p99.9 columns to every workload-driven figure"),
+		json:     fs.Bool("json", false, "also emit one JSON document per figure/report"),
+		trace:    fs.String("trace", "", "write a Chrome trace_event JSON file of every timed run (forces serial, uncached cells)"),
+		timeline: fs.String("timeline", "", "write the windowed timeseries of every timed run to this file (.csv for CSV, else JSON; forces serial, uncached cells)"),
+		tlWindow: fs.Int64("timeline-window", 0, "timeseries window width in simulated cycles (0 = default)"),
+		msfDim:   fs.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)"),
+		profOps:  fs.Int("profile-ops", 1500, "operations for the Section 6.1 profile"),
+		cpuProf:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file (forces serial, uncached cells)"),
+		memProf:  fs.String("memprofile", "", "write a pprof allocation profile to this file (forces serial, uncached cells)"),
+		parallel: fs.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = serial)"),
+		cacheDir: fs.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory"),
+		noCache:  fs.Bool("no-cache", false, "recompute every cell, ignoring and not writing the cache"),
+		progress: fs.Bool("progress", false, "report per-cell progress and ETA on stderr"),
+		cellTime: fs.Duration("cell-timeout", 0, "per-cell wall-clock budget; an over-budget cell fails alone (0 = none)"),
+	}
+}
+
 func main() {
-	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
-		opsFlag  = flag.Int("ops", 4000, "operations per thread")
-		thrFlag  = flag.String("threads", "1,2,3,4,6,8,12,16", "thread counts")
-		seedFlag = flag.Uint64("seed", 1, "experiment seed")
-		csvFlag  = flag.Bool("csv", false, "also emit CSV rows")
-		latFlag  = flag.Bool("latency", false, "record per-operation latency and add p50/p90/p99/p99.9 columns to every workload-driven figure")
-		jsonFlag = flag.Bool("json", false, "also emit one JSON document per figure/report")
-		traceFlg = flag.String("trace", "", "write a Chrome trace_event JSON file of every timed run (forces serial, uncached cells)")
-		msfDim   = flag.Int("msf-dim", 96, "roadmap grid dimension (msf-dim x msf-dim vertices)")
-		profOps  = flag.Int("profile-ops", 1500, "operations for the Section 6.1 profile")
-
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file (forces serial, uncached cells)")
-		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file (forces serial, uncached cells)")
-
-		parallel = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
-		noCache  = flag.Bool("no-cache", false, "recompute every cell, ignoring and not writing the cache")
-		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
-		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget; an over-budget cell fails alone (0 = none)")
-	)
+	fl := registerFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Each experiment cell builds a fresh simulated machine whose word
@@ -133,7 +171,7 @@ func main() {
 		debug.SetGCPercent(400)
 	}
 
-	threads, err := parseThreads(*thrFlag)
+	threads, err := parseThreads(*fl.threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
@@ -144,13 +182,13 @@ func main() {
 	// explicitly on the exit path (main exits via os.Exit inside a defer,
 	// which would skip ordinary deferred profile flushes).
 	stopProfiles := func() {}
-	if *cpuProf != "" || *memProf != "" {
-		if *parallel != 1 || !*noCache {
+	if *fl.cpuProf != "" || *fl.memProf != "" {
+		if *fl.parallel != 1 || !*fl.noCache {
 			fmt.Fprintln(os.Stderr, "figures: profiling forces serial, uncached cell execution")
 		}
-		*parallel = 1
-		*noCache = true
-		cpuPath, memPath := *cpuProf, *memProf
+		*fl.parallel = 1
+		*fl.noCache = true
+		cpuPath, memPath := *fl.cpuProf, *fl.memProf
 		if cpuPath != "" {
 			f, err := os.Create(cpuPath)
 			if err != nil {
@@ -184,19 +222,19 @@ func main() {
 	}
 
 	// The orchestrator: worker pool + result cache + learned cost model.
-	pool := &runner.Pool{Workers: *parallel, Timeout: *cellTime}
-	if !*noCache {
-		cache, err := runner.OpenCache(*cacheDir, runner.CacheVersion)
+	pool := &runner.Pool{Workers: *fl.parallel, Timeout: *fl.cellTime}
+	if !*fl.noCache {
+		cache, err := runner.OpenCache(*fl.cacheDir, runner.CacheVersion)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v (continuing uncached)\n", err)
 		} else {
 			pool.Cache = cache
-			pool.Costs = runner.LoadCostModel(*cacheDir)
+			pool.Costs = runner.LoadCostModel(*fl.cacheDir)
 		}
 	}
 	reg := obs.NewRegistry()
 	pool.PublishMetrics(reg)
-	if *progress {
+	if *fl.progress {
 		pool.OnProgress = func(pr runner.Progress) {
 			snap := reg.Snapshot()
 			done, _ := snap.Counter("runner", "jobs_done")
@@ -214,30 +252,38 @@ func main() {
 		}
 	}
 
-	o := bench.Options{Threads: threads, OpsPerThread: *opsFlag, Seed: *seedFlag, Runner: pool, Latency: *latFlag}
+	o := bench.Options{Threads: threads, OpsPerThread: *fl.ops, Seed: *fl.seed, Runner: pool, Latency: *fl.latency, TimelineWindow: *fl.tlWindow}
 	var sink *obs.TraceSink
-	if *traceFlg != "" {
+	if *fl.trace != "" {
 		sink = &obs.TraceSink{}
 		o.Trace = sink
-		if *parallel != 1 {
+		if *fl.parallel != 1 {
 			fmt.Fprintln(os.Stderr, "figures: -trace forces serial, uncached cell execution")
 		}
 	}
-	mo := bench.MSFOptions{Width: *msfDim, Height: *msfDim, Threads: threads, Seed: *seedFlag, Runner: pool}
-	if *traceFlg != "" {
+	var tlSink *timeseries.Sink
+	if *fl.timeline != "" {
+		tlSink = &timeseries.Sink{}
+		o.Timeline = tlSink
+		if *fl.parallel != 1 {
+			fmt.Fprintln(os.Stderr, "figures: -timeline forces serial, uncached cell execution")
+		}
+	}
+	mo := bench.MSFOptions{Width: *fl.msfDim, Height: *fl.msfDim, Threads: threads, Seed: *fl.seed, Runner: pool}
+	if *fl.trace != "" {
 		mo.Runner = nil // MSF cells are untraced; keep them serial too for reproducible trace files
 	}
 
 	experiments := buildExperiments(o, mo)
 	valid := experimentNames(experiments)
 
-	if *expFlag == "list" {
+	if *fl.exp == "list" {
 		for _, n := range valid {
 			fmt.Println(n)
 		}
 		return
 	}
-	selected, err := parseExpFlag(*expFlag, valid)
+	selected, err := parseExpFlag(*fl.exp, valid)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
@@ -265,10 +311,10 @@ func main() {
 			return
 		}
 		fig.Render(os.Stdout)
-		if *csvFlag {
+		if *fl.csv {
 			fig.CSV(os.Stdout)
 		}
-		if *jsonFlag {
+		if *fl.json {
 			if err := fig.JSON(os.Stdout); err != nil {
 				fail("figures: %s: json: %v\n", e.name, err)
 				return
@@ -282,10 +328,10 @@ func main() {
 			return
 		}
 		rep.Render(os.Stdout)
-		if *csvFlag {
+		if *fl.csv {
 			rep.CSV(os.Stdout)
 		}
-		if *jsonFlag {
+		if *fl.json {
 			if err := rep.JSON(os.Stdout); err != nil {
 				fail("figures: attrib: json: %v\n", err)
 				return
@@ -294,13 +340,21 @@ func main() {
 	}
 	if all || selected["profile"] {
 		fmt.Println("== Section 6.1 transaction-failure analysis (single-thread PhTM vs STM replay) ==")
-		for _, line := range bench.ProfileReport(*profOps, nil) {
+		for _, line := range bench.ProfileReport(*fl.profOps, nil) {
 			fmt.Println(line)
 		}
 		fmt.Println()
 	}
 	if sink != nil {
-		f, err := os.Create(*traceFlg)
+		// When both -trace and -timeline are active, fold each run's window
+		// series into its trace process as Perfetto counter tracks, so the
+		// line charts render above the matching event timeline.
+		if tlSink != nil {
+			tlSink.Each(func(label string, s timeseries.Series) {
+				sink.AddCounters(label, s.FreqGHz, s.CounterTracks())
+			})
+		}
+		f, err := os.Create(*fl.trace)
 		if err != nil {
 			fail("figures: %v\n", err)
 			return
@@ -314,7 +368,27 @@ func main() {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d events from %d runs to %s (load in Perfetto / chrome://tracing)\n",
-			sink.Events(), sink.Runs(), *traceFlg)
+			sink.Events(), sink.Runs(), *fl.trace)
+	}
+	if tlSink != nil {
+		f, err := os.Create(*fl.timeline)
+		if err != nil {
+			fail("figures: %v\n", err)
+			return
+		}
+		write := tlSink.WriteJSON
+		if strings.HasSuffix(*fl.timeline, ".csv") {
+			write = tlSink.WriteCSV
+		}
+		if werr := write(f); werr != nil {
+			fail("figures: timeline: %v\n", werr)
+			return
+		}
+		if err := f.Close(); err != nil {
+			fail("figures: timeline: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote window series of %d runs to %s\n", tlSink.Runs(), *fl.timeline)
 	}
 }
 
@@ -337,6 +411,7 @@ func buildExperiments(o bench.Options, mo bench.MSFOptions) []experiment {
 		{"treemap", func() (*bench.Figure, error) { return bench.TreeMapDemo(o) }},
 		{"volano", func() (*bench.Figure, error) { return bench.VolanoFigure(o) }},
 		{"tail", func() (*bench.Figure, error) { return bench.TailFigure(o) }},
+		{"timeline", func() (*bench.Figure, error) { return bench.TimelineFigure(o) }},
 		{"fig4", func() (*bench.Figure, error) { return bench.Fig4(mo) }},
 		{"msfse", func() (*bench.Figure, error) { return bench.SEModeMSF(mo) }},
 		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},

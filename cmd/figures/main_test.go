@@ -1,6 +1,8 @@
 package main
 
 import (
+	"flag"
+	"sort"
 	"strings"
 	"testing"
 
@@ -76,5 +78,47 @@ func TestCatalogueIncludesTail(t *testing.T) {
 	}
 	if sel, err := parseExpFlag("tail", valid); err != nil || !sel["tail"] {
 		t.Fatalf("-exp tail rejected: sel=%v err=%v", sel, err)
+	}
+}
+
+// The timeline experiment is part of the catalogue, and the valid-name
+// list (what -exp list prints) comes out sorted so users can scan it.
+func TestCatalogueIncludesTimelineAndIsSorted(t *testing.T) {
+	valid := experimentNames(buildExperiments(bench.Options{}, bench.MSFOptions{}))
+	if !sort.StringsAreSorted(valid) {
+		t.Errorf("-exp list is not sorted: %v", valid)
+	}
+	set := map[string]bool{}
+	for _, n := range valid {
+		set[n] = true
+	}
+	if !set["timeline"] {
+		t.Fatalf("experiment catalogue missing \"timeline\": %v", valid)
+	}
+	if sel, err := parseExpFlag("timeline", valid); err != nil || !sel["timeline"] {
+		t.Fatalf("-exp timeline rejected: sel=%v err=%v", sel, err)
+	}
+	if _, err := parseExpFlag("timelien", valid); err == nil {
+		t.Fatal("unknown experiment accepted")
+	} else if !strings.Contains(err.Error(), "timeline") {
+		t.Errorf("unknown-experiment error does not enumerate timeline: %v", err)
+	}
+}
+
+// The flag surface carries the timeline exports: -timeline selects the
+// output file, -timeline-window the window width.
+func TestFlagSurfaceCarriesTimeline(t *testing.T) {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fl := registerFlags(fs)
+	for _, name := range []string{"exp", "trace", "timeline", "timeline-window", "latency", "parallel"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-timeline", "w.csv", "-timeline-window", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+	if *fl.timeline != "w.csv" || *fl.tlWindow != 4096 {
+		t.Errorf("parsed timeline=%q window=%d", *fl.timeline, *fl.tlWindow)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"rocktm/internal/core"
 	"rocktm/internal/cps"
 	"rocktm/internal/obs"
+	"rocktm/internal/obs/timeseries"
 	"rocktm/internal/runner"
 	"rocktm/internal/sim"
 	"rocktm/internal/workload"
@@ -56,6 +57,15 @@ type Options struct {
 	// obs default).
 	TraceEvents int
 
+	// Timeline, when non-nil, receives one windowed timeseries per timed
+	// run (same labels as Trace), exportable as JSON or CSV via the sink.
+	// Like Trace it forces inline serial execution and, per the
+	// zero-perturbation contract, leaves every throughput byte unchanged.
+	Timeline *timeseries.Sink
+	// TimelineWindow is the window width in simulated cycles (<=0 selects
+	// timeseries.DefaultWidth).
+	TimelineWindow int64
+
 	// Runner, when non-nil, executes experiment cells through the
 	// host-parallel orchestrator: a worker pool with longest-expected-first
 	// scheduling plus a content-addressed result cache. Nil runs cells
@@ -64,11 +74,13 @@ type Options struct {
 	Runner *runner.Pool
 }
 
-// pool returns the pool cells should run on. Tracing forces inline
-// serial execution: a cache hit would produce no events, and the sink's
-// deposit order must stay deterministic.
+// pool returns the pool cells should run on. Tracing and timeline capture
+// force inline serial execution: a cache hit would produce no events, and
+// the sink's deposit order must stay deterministic. (The timeline *figure*
+// is exempt — its series ride inside the cell payloads, so it caches and
+// parallelizes like any other experiment.)
 func (o Options) pool() *runner.Pool {
-	if o.Trace != nil {
+	if o.Trace != nil || o.Timeline != nil {
 		return nil
 	}
 	return o.Runner
@@ -149,6 +161,33 @@ func (o Options) startTrace(m *sim.Machine) *obs.Tracer {
 func (o Options) endTrace(tr *obs.Tracer, label string) {
 	if tr != nil && o.Trace != nil {
 		o.Trace.Add(label, tr.FreqGHz(), tr.Merged())
+	}
+}
+
+// attachWindows builds a windowed recorder at the given width (<=0 the
+// default), keyed to the machine's clock frequency, and attaches it to
+// every strand's hook points.
+func attachWindows(m *sim.Machine, width int64) *timeseries.Recorder {
+	rec := timeseries.NewRecorder(width)
+	rec.SetFreqGHz(m.Config().Costs.FreqGHz)
+	m.AttachEventSink(rec)
+	return rec
+}
+
+// startWindows attaches a fresh windowed recorder when timeline capture is
+// requested, nil otherwise. Call sites must guard Driver.Observe with a
+// nil check (a nil *Recorder inside a non-nil interface would be called).
+func (o Options) startWindows(m *sim.Machine) *timeseries.Recorder {
+	if o.Timeline == nil {
+		return nil
+	}
+	return attachWindows(m, o.TimelineWindow)
+}
+
+// endWindows deposits a finished run's window series into the sink.
+func (o Options) endWindows(rec *timeseries.Recorder, label string) {
+	if rec != nil && o.Timeline != nil {
+		o.Timeline.Add(label, rec.Series())
 	}
 }
 

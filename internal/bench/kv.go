@@ -5,6 +5,7 @@ import (
 
 	"rocktm/internal/core"
 	"rocktm/internal/hashtable"
+	"rocktm/internal/obs/timeseries"
 	"rocktm/internal/rbtree"
 	"rocktm/internal/runner"
 	"rocktm/internal/sim"
@@ -62,17 +63,39 @@ func (cfg kvConfig) spec() workload.Spec {
 
 // runKV measures one (system, threads) cell: prepopulate with half the key
 // range, then run opsPerThread operations per thread through the shared
-// workload driver.
+// workload driver. When the options carry a timeline sink, the run's
+// window series is deposited under the same label as its event trace.
 func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (Point, error) {
+	p, series, err := runKVSeries(o, label, cfg, sb, threads, o.Timeline != nil, o.TimelineWindow)
+	if err == nil && o.Timeline != nil {
+		o.Timeline.Add(fmt.Sprintf("%s/%s@%dT", label, sb.Name, threads), series)
+	}
+	return p, err
+}
+
+// runKVSeries is runKV's core with explicit windowed-capture control:
+// when capture is set, a timeseries recorder at the given width observes
+// the run (hook-point events via the machine sink, per-op latencies via
+// the driver) and the resulting series is returned alongside the point.
+// The recorder follows the zero-perturbation contract, so the point is
+// bit-identical with capture on or off (pinned by timeline_test.go).
+func runKVSeries(o Options, label string, cfg kvConfig, sb SysBuilder, threads int, capture bool, width int64) (Point, timeseries.Series, error) {
 	m := machineFor(threads, cfg.memWords, o.Seed)
 	st := cfg.build(m, cfg.keyRange)
 	sys := sb.Build(m)
 	wl := workload.MustCompile(cfg.spec())
 	lat := o.latRecorder()
 	tr := o.startTrace(m)
+	var rec *timeseries.Recorder
+	if capture {
+		rec = attachWindows(m, width)
+	}
 	m.Run(func(s *sim.Strand) {
 		ses := st.NewSession(sys, s)
 		d := wl.Driver(s, lat)
+		if rec != nil {
+			d.Observe(rec)
+		}
 		d.Run(o.OpsPerThread, func(_, op int, key uint64) {
 			switch op {
 			case workload.OpLookup:
@@ -85,13 +108,17 @@ func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (P
 		})
 	})
 	o.endTrace(tr, fmt.Sprintf("%s/%s@%dT", label, sb.Name, threads))
+	var series timeseries.Series
+	if rec != nil {
+		series = rec.Series()
+	}
 	if cfg.validate != nil {
 		if err := cfg.validate(st, m.Mem()); err != nil {
-			return Point{}, fmt.Errorf("%s/%d threads: %w", sb.Name, threads, err)
+			return Point{}, series, fmt.Errorf("%s/%d threads: %w", sb.Name, threads, err)
 		}
 	}
 	res := workload.NewResult(uint64(threads*o.OpsPerThread), m.ElapsedSeconds(), sys.Stats(), lat)
-	return point(res, threads), nil
+	return point(res, threads), series, nil
 }
 
 // kvSpec identifies one key-value cell for the runner's cache: the exact

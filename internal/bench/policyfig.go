@@ -48,9 +48,13 @@ func runPolicyCell(o Options, polName, profile string, threads int) (Point, erro
 	wl := workload.MustCompile(workload.KVSpec(workload.Uniform(policyKeyRange), policyPctLookup))
 	lat := o.latRecorder()
 	tr := o.startTrace(m)
+	rec := o.startWindows(m)
 	m.Run(func(s *sim.Strand) {
 		ses := st.NewSession(sys, s)
 		d := wl.Driver(s, lat)
+		if rec != nil {
+			d.Observe(rec)
+		}
 		d.Run(o.OpsPerThread, func(_, op int, key uint64) {
 			switch op {
 			case workload.OpLookup:
@@ -63,6 +67,7 @@ func runPolicyCell(o Options, polName, profile string, threads int) (Point, erro
 		})
 	})
 	o.endTrace(tr, fmt.Sprintf("policy/%s-%s@%dT", polName, profile, threads))
+	o.endWindows(rec, fmt.Sprintf("policy/%s-%s@%dT", polName, profile, threads))
 	res := workload.NewResult(uint64(threads*o.OpsPerThread), m.ElapsedSeconds(), sys.Stats(), lat)
 	return point(res, threads), nil
 }

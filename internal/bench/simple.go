@@ -55,13 +55,18 @@ func CounterFigure(o Options) (*Figure, error) {
 					ctr := counter.New(m)
 					lat := o.latRecorder()
 					tr := o.startTrace(m)
+					rec := o.startWindows(m)
 					m.Run(func(s *sim.Strand) {
 						d := wl.Driver(s, lat)
+						if rec != nil {
+							d.Observe(rec)
+						}
 						d.Run(o.OpsPerThread, func(_, _ int, _ uint64) {
 							ctr.Inc(s, method)
 						})
 					})
 					o.endTrace(tr, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
+					o.endWindows(rec, fmt.Sprintf("counter/%s@%dT", method.Name(), th))
 					if got := ctr.Value(m.Mem()); got != sim.Word(th*o.OpsPerThread) {
 						return Point{}, fmt.Errorf("counter %s/%d: %d != %d", method.Name(), th, got, th*o.OpsPerThread)
 					}
@@ -148,8 +153,12 @@ func DCASFigure(o Options) (*Figure, error) {
 					m := machineFor(th, 1<<23, o.Seed)
 					set := b.build(m)
 					lat := o.latRecorder()
+					rec := o.startWindows(m)
 					m.Run(func(s *sim.Strand) {
 						d := setWL.Driver(s, lat)
+						if rec != nil {
+							d.Observe(rec)
+						}
 						d.Run(o.OpsPerThread, func(_, op int, key uint64) {
 							switch op {
 							case 0:
@@ -161,6 +170,7 @@ func DCASFigure(o Options) (*Figure, error) {
 							}
 						})
 					})
+					o.endWindows(rec, fmt.Sprintf("dcas/%s@%dT", b.name, th))
 					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), nil, lat)
 					return point(res, th), nil
 				},
@@ -192,8 +202,12 @@ func DCASFigure(o Options) (*Figure, error) {
 					m := machineFor(th, 1<<23, o.Seed)
 					q := b.build(m)
 					lat := o.latRecorder()
+					rec := o.startWindows(m)
 					m.Run(func(s *sim.Strand) {
 						d := queueWL.Driver(s, lat)
+						if rec != nil {
+							d.Observe(rec)
+						}
 						d.Run(o.OpsPerThread, func(i, op int, _ uint64) {
 							if op == 0 {
 								q.Enqueue(s, sim.Word(i))
@@ -202,6 +216,7 @@ func DCASFigure(o Options) (*Figure, error) {
 							}
 						})
 					})
+					o.endWindows(rec, fmt.Sprintf("dcas/%s@%dT", b.name, th))
 					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), nil, lat)
 					return point(res, th), nil
 				},
@@ -269,10 +284,14 @@ func VolanoFigure(o Options) (*Figure, error) {
 					vm.Elide = cc.elide
 					srv := chat.NewServer(m, vm, rooms)
 					lat := o.latRecorder()
+					rec := o.startWindows(m)
 					m.Run(func(s *sim.Strand) {
 						room := s.ID() % rooms
 						srv.Join(s, room)
 						d := wl.Driver(s, lat)
+						if rec != nil {
+							d.Observe(rec)
+						}
 						d.Run(o.OpsPerThread, func(i, op int, key uint64) {
 							switch op {
 							case 0:
@@ -286,6 +305,7 @@ func VolanoFigure(o Options) (*Figure, error) {
 						})
 						srv.Leave(s, room)
 					})
+					o.endWindows(rec, fmt.Sprintf("volano/%s@%dT", cc.name, th))
 					res := workload.NewResult(uint64(th*o.OpsPerThread), m.ElapsedSeconds(), vm.Stats(), lat)
 					return point(res, th), nil
 				},

@@ -94,3 +94,17 @@ type Event struct {
 
 // CPS interprets Arg as CPS register bits (meaningful for EvTxAbort).
 func (e Event) CPS() cps.Bits { return cps.Bits(e.Arg) }
+
+// EventSink receives the same hook-point stream a Tracer records, one call
+// per event, as it happens. It is the streaming alternative to the tracer's
+// ring buffers: a sink folds events into its own aggregate (the windowed
+// timeseries recorder is the canonical implementation) instead of retaining
+// them, so it never wraps and never loses history.
+//
+// Implementations must obey the tracer's contract: SinkEvent charges no
+// simulated cycles, consumes no simulated randomness, and its steady-state
+// path is allocation-free, so a run with a sink attached is cycle-identical
+// to one without.
+type EventSink interface {
+	SinkEvent(strand int, cycle int64, kind EventKind, arg uint64)
+}

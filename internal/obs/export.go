@@ -168,11 +168,57 @@ type sinkRun struct {
 	label   string
 	freqGHz float64
 	events  []Event
+	tracks  []CounterTrack
 }
 
 // Add deposits one run's merged event stream under the given label.
 func (k *TraceSink) Add(label string, freqGHz float64, events []Event) {
 	k.runs = append(k.runs, sinkRun{label: label, freqGHz: freqGHz, events: events})
+}
+
+// CounterPoint is one sample of a counter track: the simulated cycle it
+// was taken at and its value.
+type CounterPoint struct {
+	Cycle int64
+	Value float64
+}
+
+// CounterTrack is one named counter series — a windowed statistic such as
+// throughput or abort rate sampled over time. Perfetto renders counter
+// tracks as line charts stacked with the event timeline, which is how the
+// timeseries layer's window series appear alongside raw trace events.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
+// AddCounters attaches counter tracks to the run with the given label, or
+// deposits an events-free run if no deposited run matches — counter-only
+// exports (timeline capture without event tracing) still render.
+func (k *TraceSink) AddCounters(label string, freqGHz float64, tracks []CounterTrack) {
+	for i := range k.runs {
+		if k.runs[i].label == label {
+			k.runs[i].tracks = append(k.runs[i].tracks, tracks...)
+			return
+		}
+	}
+	k.runs = append(k.runs, sinkRun{label: label, freqGHz: freqGHz, tracks: tracks})
+}
+
+// counterEventsFor renders one run's counter tracks as ph "C" trace
+// events under process pid.
+func counterEventsFor(tracks []CounterTrack, freqGHz float64, pid int) []chromeEvent {
+	var out []chromeEvent
+	for _, t := range tracks {
+		for _, p := range t.Points {
+			out = append(out, chromeEvent{
+				Name: t.Name, Cat: "timeseries", Ph: "C",
+				Ts: usOf(p.Cycle, freqGHz), Pid: pid, Tid: 0,
+				Args: map[string]any{"value": p.Value},
+			})
+		}
+	}
+	return out
 }
 
 // Runs returns how many runs have been deposited.
@@ -192,6 +238,7 @@ func (k *TraceSink) WriteChrome(w io.Writer) error {
 	doc := chromeTrace{DisplayTimeUnit: "ms"}
 	for i, r := range k.runs {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEventsFor(r.events, r.freqGHz, i, r.label)...)
+		doc.TraceEvents = append(doc.TraceEvents, counterEventsFor(r.tracks, r.freqGHz, i)...)
 	}
 	return json.NewEncoder(w).Encode(doc)
 }

@@ -160,3 +160,14 @@ func (r *LatencyRecorder) Sample() Sample {
 func (r *LatencyRecorder) Publish(reg *Registry, subsystem string) {
 	reg.Register(subsystem, r.Sample)
 }
+
+// LatencySink receives time-stamped operation latencies: cycle is the
+// operation's completion time on the recording strand's clock, latency the
+// begin-to-completion cost in cycles. It is the timeseries counterpart of
+// LatencyRecorder — a windowed recorder implements it to build per-window
+// latency histograms. Implementations follow the same observation-only
+// contract as EventSink: no simulated cycles, no simulated randomness, no
+// steady-state allocation.
+type LatencySink interface {
+	RecordLatencyAt(cycle, latency int64)
+}

@@ -1,0 +1,229 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkSeries builds a synthetic series at MinWidth from pre-digested window
+// stats, filling in Index/StartCycle so detectors see a consistent axis.
+func mkSeries(ws ...WindowStats) Series {
+	s := Series{WidthCycles: MinWidth, FreqGHz: 1}
+	for i := range ws {
+		ws[i].Index = i
+		ws[i].StartCycle = int64(i) * MinWidth
+	}
+	s.Windows = ws
+	return s
+}
+
+// healthyWindow is a baseline window no detector should flag.
+func healthyWindow() WindowStats {
+	return WindowStats{
+		Ops: 100, Begins: 110, Commits: 100, Aborts: 10, AbortRate: 0.09,
+		FallbackFrac: 0.1, SWCommits: 5, P50: 200, P999: 1000, Max: 1200,
+	}
+}
+
+// only returns the findings of one kind.
+func only(fs []Finding, kind string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestCleanSeriesNoFindings(t *testing.T) {
+	ws := make([]WindowStats, 8)
+	for i := range ws {
+		ws[i] = healthyWindow()
+	}
+	if fs := Detect(mkSeries(ws...)); len(fs) != 0 {
+		t.Errorf("healthy series produced findings: %v", fs)
+	}
+}
+
+// A fallback-fraction spike coinciding with a tail excursion is a
+// phase-flip drain; the finding names the window range and the grouped
+// range keeps the peak window's severity and evidence.
+func TestDetectPhaseFlipDrain(t *testing.T) {
+	ws := make([]WindowStats, 8)
+	for i := range ws {
+		ws[i] = healthyWindow()
+	}
+	ws[4].FallbackFrac = 0.9
+	ws[4].P999 = 5000
+	ws[4].ToSoftware = 2
+	ws[5].FallbackFrac = 0.8
+	ws[5].P999 = 9000
+	s := mkSeries(ws...)
+	fs := only(Detect(s), KindPhaseFlipDrain)
+	if len(fs) != 1 {
+		t.Fatalf("got %d phase-flip findings, want 1: %v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.FirstWindow != 4 || f.LastWindow != 5 {
+		t.Errorf("flagged windows %d-%d, want 4-5", f.FirstWindow, f.LastWindow)
+	}
+	if f.StartCycle != 4*MinWidth || f.EndCycle != 6*MinWidth {
+		t.Errorf("cycle span %d-%d, want %d-%d", f.StartCycle, f.EndCycle, 4*MinWidth, 6*MinWidth)
+	}
+	// Baseline p99.9 is 1000, factor 2.0: the peak window (9000) scores 4.5.
+	if f.Severity != 4.5 {
+		t.Errorf("severity %v, want 4.5 (peak window)", f.Severity)
+	}
+	if !strings.Contains(f.Evidence, "9000") || !strings.Contains(f.Evidence, "fallback frac") {
+		t.Errorf("evidence does not carry the peak numbers: %q", f.Evidence)
+	}
+	if !strings.Contains(f.String(), "windows 4-5") {
+		t.Errorf("String() lost the window range: %q", f.String())
+	}
+}
+
+// Sustained fallback lock-in after aborts have cleared is a lemming
+// convoy — but only when the run is long enough to be a convoy.
+func TestDetectLemmingConvoy(t *testing.T) {
+	ws := make([]WindowStats, 6)
+	for i := range ws {
+		ws[i] = healthyWindow()
+	}
+	for i := 2; i <= 5; i++ {
+		ws[i].FallbackFrac = 0.85
+		ws[i].AbortRate = 0.02
+		ws[i].P999 = 1000 // no tail excursion: this is not a phase-flip
+	}
+	fs := only(Detect(mkSeries(ws...)), KindLemmingConvoy)
+	if len(fs) != 1 {
+		t.Fatalf("got %d lemming findings, want 1: %v", len(fs), fs)
+	}
+	if f := fs[0]; f.FirstWindow != 2 || f.LastWindow != 5 {
+		t.Errorf("flagged windows %d-%d, want 2-5", f.FirstWindow, f.LastWindow)
+	}
+
+	// Two windows are a flip, not a convoy: below LemmingRun nothing fires.
+	short := make([]WindowStats, 6)
+	for i := range short {
+		short[i] = healthyWindow()
+	}
+	for i := 2; i <= 3; i++ {
+		short[i].FallbackFrac = 0.85
+		short[i].AbortRate = 0.02
+	}
+	if fs := only(Detect(mkSeries(short...)), KindLemmingConvoy); len(fs) != 0 {
+		t.Errorf("sub-run-length flip flagged as convoy: %v", fs)
+	}
+}
+
+// Pure-software systems (STM, one-lock) run at fallback fraction 1.0 by
+// construction — no hardware path was ever abandoned, so the convoy
+// detector must stay silent when the series carries no tx begins.
+func TestLemmingIgnoresPureSoftwareRuns(t *testing.T) {
+	ws := make([]WindowStats, 6)
+	for i := range ws {
+		ws[i] = WindowStats{
+			Ops: 100, SWCommits: 100, FallbackFrac: 1.0,
+			P50: 300, P999: 2000, Max: 2500,
+		}
+	}
+	fs := Detect(mkSeries(ws...))
+	if lem := only(fs, KindLemmingConvoy); len(lem) != 0 {
+		t.Errorf("pure-software series flagged as lemming convoy: %v", lem)
+	}
+}
+
+// Frequent aborts dominated by the coherence bit are a hot-key storm.
+func TestDetectHotKeyAbortStorm(t *testing.T) {
+	ws := make([]WindowStats, 4)
+	for i := range ws {
+		ws[i] = WindowStats{Begins: 20, Commits: 5, Aborts: 15, AbortRate: 0.75,
+			CPS: map[string]uint64{"COH": 12}}
+	}
+	fs := only(Detect(mkSeries(ws...)), KindHotKeyAbortStorm)
+	if len(fs) != 1 {
+		t.Fatalf("got %d storm findings, want 1: %v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.FirstWindow != 0 || f.LastWindow != 3 {
+		t.Errorf("flagged windows %d-%d, want 0-3", f.FirstWindow, f.LastWindow)
+	}
+	if f.Severity != 1.5 {
+		t.Errorf("severity %v, want 1.5 (0.75 abort rate / 0.50 threshold)", f.Severity)
+	}
+	if !strings.Contains(f.Evidence, "COH") {
+		t.Errorf("evidence does not name the coherence bit: %q", f.Evidence)
+	}
+
+	// Same abort rate, but the bits are not coherence: no storm.
+	for i := range ws {
+		ws[i].CPS = map[string]uint64{"SIZ": 12}
+	}
+	if fs := only(Detect(mkSeries(ws...)), KindHotKeyAbortStorm); len(fs) != 0 {
+		t.Errorf("capacity aborts flagged as hot-key storm: %v", fs)
+	}
+}
+
+// Capacity-bit-dominated abort loops flag only when they persist across
+// consecutive windows — a single overflowing window is not "hopeless".
+func TestDetectCapacityHopeless(t *testing.T) {
+	mk := func(run int) Series {
+		ws := make([]WindowStats, 6)
+		for i := range ws {
+			ws[i] = WindowStats{Begins: 20, Commits: 10, Aborts: 2, AbortRate: 2.0 / 12}
+		}
+		for i := 1; i <= run; i++ {
+			ws[i] = WindowStats{Begins: 20, Commits: 4, Aborts: 16, AbortRate: 0.8,
+				CPS: map[string]uint64{"SIZ": 10, "ST": 4}}
+		}
+		return mkSeries(ws...)
+	}
+	fs := only(Detect(mk(3)), KindCapacityHopeless)
+	if len(fs) != 1 {
+		t.Fatalf("got %d capacity findings, want 1: %v", len(fs), fs)
+	}
+	if f := fs[0]; f.FirstWindow != 1 || f.LastWindow != 3 {
+		t.Errorf("flagged windows %d-%d, want 1-3", f.FirstWindow, f.LastWindow)
+	}
+	if fs := only(Detect(mk(1)), KindCapacityHopeless); len(fs) != 0 {
+		t.Errorf("single overflow window flagged as hopeless: %v", fs)
+	}
+}
+
+// Findings come out ordered by (first window, kind) regardless of which
+// detector produced them.
+func TestDetectOrdering(t *testing.T) {
+	ws := make([]WindowStats, 10)
+	for i := range ws {
+		ws[i] = healthyWindow()
+	}
+	// Storm late...
+	ws[7] = WindowStats{Ops: 100, Begins: 20, Commits: 5, Aborts: 15, AbortRate: 0.75,
+		CPS: map[string]uint64{"COH": 12}, P50: 200, P999: 1000}
+	// ...phase-flip early.
+	ws[2].FallbackFrac = 0.9
+	ws[2].P999 = 5000
+	fs := Detect(mkSeries(ws...))
+	if len(fs) < 2 {
+		t.Fatalf("want at least 2 findings, got %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		a, b := fs[i-1], fs[i]
+		if a.FirstWindow > b.FirstWindow ||
+			(a.FirstWindow == b.FirstWindow && a.Kind > b.Kind) {
+			t.Errorf("findings out of order at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+// Detectors need a baseline: series with fewer than two ops-bearing
+// windows produce nothing rather than dividing by a missing median.
+func TestDetectTooShortSeries(t *testing.T) {
+	if fs := Detect(mkSeries(healthyWindow())); len(fs) != 0 {
+		t.Errorf("one-window series produced findings: %v", fs)
+	}
+	if fs := Detect(Series{WidthCycles: MinWidth, FreqGHz: 1}); len(fs) != 0 {
+		t.Errorf("empty series produced findings: %v", fs)
+	}
+}

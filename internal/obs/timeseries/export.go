@@ -1,0 +1,112 @@
+package timeseries
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rocktm/internal/obs"
+)
+
+// Sink accumulates the window series of several experiment runs, mirroring
+// obs.TraceSink for event traces, and exports them as one JSON document or
+// one labelled CSV stream. Output is byte-deterministic for deterministic
+// runs (struct field order fixes JSON key order; CPS maps are the only
+// map-typed field and encoding/json sorts their keys).
+type Sink struct {
+	runs []sinkEntry
+}
+
+type sinkEntry struct {
+	Label  string `json:"label"`
+	Series Series `json:"series"`
+	// Findings and SLOs ride along when the depositing experiment ran the
+	// detector/SLO pass, so one export holds the whole verdict.
+	Findings []Finding   `json:"findings,omitempty"`
+	SLOs     []SLOResult `json:"slos,omitempty"`
+}
+
+// Add deposits one run's window series under the given label.
+func (k *Sink) Add(label string, s Series) {
+	k.runs = append(k.runs, sinkEntry{Label: label, Series: s})
+}
+
+// AddJudged deposits a series together with its detector findings and SLO
+// verdicts.
+func (k *Sink) AddJudged(label string, s Series, findings []Finding, slos []SLOResult) {
+	k.runs = append(k.runs, sinkEntry{Label: label, Series: s, Findings: findings, SLOs: slos})
+}
+
+// Runs returns how many series have been deposited.
+func (k *Sink) Runs() int { return len(k.runs) }
+
+// Each calls f for every deposited run in deposit order — the bridge the
+// figures command uses to fold window series into the Chrome trace as
+// counter tracks.
+func (k *Sink) Each(f func(label string, s Series)) {
+	for _, r := range k.runs {
+		f(r.Label, r.Series)
+	}
+}
+
+// WriteJSON writes all deposited runs as one JSON document.
+func (k *Sink) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Runs []sinkEntry `json:"runs"`
+	}{Runs: k.runs}
+	if doc.Runs == nil {
+		doc.Runs = []sinkEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// csvHeader is the fixed column set of WriteCSV. CPS bits are folded to
+// the two shares the detectors judge rather than twelve sparse columns.
+const csvHeader = "label,window,start_cycle,ops,ops_per_usec,tx_commits,tx_aborts,abort_rate," +
+	"sw_commits,fallbacks,fallback_frac,to_software,to_hardware,lock_acquires,lock_hold_cycles," +
+	"coh_aborts,p50,p90,p99,p999,max"
+
+// WriteCSV writes all deposited runs as one flat CSV: one row per window,
+// first column the run label.
+func (k *Sink) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range k.runs {
+		for _, win := range r.Series.Windows {
+			_, err := fmt.Fprintf(bw, "%s,%d,%d,%d,%.4f,%d,%d,%.4f,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				r.Label, win.Index, win.StartCycle, win.Ops, win.Throughput,
+				win.Commits, win.Aborts, win.AbortRate,
+				win.SWCommits, win.Fallbacks, win.FallbackFrac,
+				win.ToSoftware, win.ToHardware, win.LockAcquires, win.LockHoldCycles,
+				win.CPS["COH"], win.P50, win.P90, win.P99, win.P999, win.Max)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// CounterTracks renders the series' headline statistics as Perfetto
+// counter tracks — throughput, abort rate, fallback fraction and p99.9 —
+// sampled at each window's start cycle, for obs.TraceSink.AddCounters.
+func (s Series) CounterTracks() []obs.CounterTrack {
+	tracks := []obs.CounterTrack{
+		{Name: "ops_per_usec"},
+		{Name: "abort_rate"},
+		{Name: "fallback_frac"},
+		{Name: "p999_cycles"},
+	}
+	for _, w := range s.Windows {
+		tracks[0].Points = append(tracks[0].Points, obs.CounterPoint{Cycle: w.StartCycle, Value: w.Throughput})
+		tracks[1].Points = append(tracks[1].Points, obs.CounterPoint{Cycle: w.StartCycle, Value: w.AbortRate})
+		tracks[2].Points = append(tracks[2].Points, obs.CounterPoint{Cycle: w.StartCycle, Value: w.FallbackFrac})
+		tracks[3].Points = append(tracks[3].Points, obs.CounterPoint{Cycle: w.StartCycle, Value: float64(w.P999)})
+	}
+	return tracks
+}

@@ -1,0 +1,165 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rocktm/internal/obs"
+)
+
+// smallSeries builds a two-window series exercising every CSV column.
+func smallSeries() Series {
+	r := NewRecorder(MinWidth)
+	r.SinkEvent(0, 1, obs.EvTxBegin, 0)
+	r.SinkEvent(0, 5, obs.EvTxCommit, 1)
+	r.RecordLatencyAt(5, 4)
+	r.SinkEvent(0, MinWidth+1, obs.EvTxBegin, 0)
+	r.SinkEvent(0, MinWidth+9, obs.EvTxAbort, 0x002) // COH
+	r.SinkEvent(0, MinWidth+20, obs.EvSWCommit, 0)
+	r.RecordLatencyAt(MinWidth+20, 19)
+	return r.Series()
+}
+
+// An empty sink still writes a valid, stable document — the figures
+// command always writes the file once -timeline is given, even when no
+// experiment deposited a series.
+func TestSinkWritesEmptyDocument(t *testing.T) {
+	var k Sink
+	var buf bytes.Buffer
+	if err := k.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty sink JSON invalid: %v\n%s", err, buf.Bytes())
+	}
+	if doc.Runs == nil || len(doc.Runs) != 0 {
+		t.Errorf(`empty sink must encode "runs": [], got %s`, buf.Bytes())
+	}
+	buf.Reset()
+	if err := k.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != csvHeader {
+		t.Errorf("empty sink CSV = %q, want header only", got)
+	}
+}
+
+func TestSinkJSONCarriesRunsAndVerdicts(t *testing.T) {
+	var k Sink
+	s := smallSeries()
+	k.Add("plain", s)
+	k.AddJudged("judged", s,
+		[]Finding{{Kind: KindPhaseFlipDrain, FirstWindow: 1, LastWindow: 1, Evidence: "e"}},
+		[]SLOResult{{SLO: SLO{Name: "tail", Percentile: "p99.9"}, Pass: true, WorstWindow: -1}})
+	if k.Runs() != 2 {
+		t.Fatalf("Runs() = %d, want 2", k.Runs())
+	}
+	var buf bytes.Buffer
+	if err := k.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Label    string      `json:"label"`
+			Series   Series      `json:"series"`
+			Findings []Finding   `json:"findings"`
+			SLOs     []SLOResult `json:"slos"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 || doc.Runs[0].Label != "plain" || doc.Runs[1].Label != "judged" {
+		t.Fatalf("labels lost: %s", buf.Bytes())
+	}
+	if doc.Runs[0].Findings != nil || doc.Runs[0].SLOs != nil {
+		t.Errorf("unjudged run must omit findings/slos: %s", buf.Bytes())
+	}
+	if len(doc.Runs[1].Findings) != 1 || doc.Runs[1].Findings[0].Kind != KindPhaseFlipDrain {
+		t.Errorf("findings lost: %+v", doc.Runs[1].Findings)
+	}
+	if len(doc.Runs[1].SLOs) != 1 || doc.Runs[1].SLOs[0].SLO.Name != "tail" {
+		t.Errorf("SLO verdicts lost: %+v", doc.Runs[1].SLOs)
+	}
+	if doc.Runs[1].Series.WidthCycles != MinWidth || len(doc.Runs[1].Series.Windows) != 2 {
+		t.Errorf("series lost: %+v", doc.Runs[1].Series)
+	}
+}
+
+func TestSinkCSVOneRowPerWindow(t *testing.T) {
+	var k Sink
+	k.Add("run-a", smallSeries())
+	k.Add("run-b", smallSeries())
+	var buf bytes.Buffer
+	if err := k.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != csvHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+2*2 {
+		t.Fatalf("got %d data rows, want 4 (2 runs x 2 windows)", len(lines)-1)
+	}
+	wantCols := strings.Count(csvHeader, ",") + 1
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ",") + 1; got != wantCols {
+			t.Errorf("row %d has %d columns, want %d: %q", i, got, wantCols, line)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "run-a,0,") || !strings.HasPrefix(lines[3], "run-b,0,") {
+		t.Errorf("rows not labelled/ordered by run: %q / %q", lines[1], lines[3])
+	}
+	// The COH abort in window 1 lands in the coh_aborts column.
+	if !strings.Contains(lines[2], ",1,") || !strings.HasPrefix(lines[2], "run-a,1,") {
+		t.Errorf("window 1 row wrong: %q", lines[2])
+	}
+}
+
+// Each visits deposits in order — the figures command relies on this to
+// merge counter tracks into the Chrome trace deterministically.
+func TestSinkEach(t *testing.T) {
+	var k Sink
+	k.Add("first", smallSeries())
+	k.Add("second", Series{})
+	var got []string
+	k.Each(func(label string, s Series) { got = append(got, label) })
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Errorf("Each order = %v", got)
+	}
+}
+
+// CounterTracks renders the four headline statistics, one point per
+// window, sampled at the window's start cycle.
+func TestCounterTracks(t *testing.T) {
+	s := smallSeries()
+	tracks := s.CounterTracks()
+	wantNames := []string{"ops_per_usec", "abort_rate", "fallback_frac", "p999_cycles"}
+	if len(tracks) != len(wantNames) {
+		t.Fatalf("got %d tracks, want %d", len(tracks), len(wantNames))
+	}
+	for i, tr := range tracks {
+		if tr.Name != wantNames[i] {
+			t.Errorf("track %d = %q, want %q", i, tr.Name, wantNames[i])
+		}
+		if len(tr.Points) != len(s.Windows) {
+			t.Errorf("track %q has %d points, want %d", tr.Name, len(tr.Points), len(s.Windows))
+		}
+		for j, p := range tr.Points {
+			if p.Cycle != s.Windows[j].StartCycle {
+				t.Errorf("track %q point %d at cycle %d, want %d", tr.Name, j, p.Cycle, s.Windows[j].StartCycle)
+			}
+		}
+	}
+	if v := tracks[1].Points[1].Value; v != s.Windows[1].AbortRate || v == 0 {
+		t.Errorf("abort_rate track value %v, want %v (nonzero)", v, s.Windows[1].AbortRate)
+	}
+	if v := tracks[3].Points[0].Value; v != float64(s.Windows[0].P999) {
+		t.Errorf("p999 track value %v, want %v", v, float64(s.Windows[0].P999))
+	}
+}

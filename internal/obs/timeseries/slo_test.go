@@ -1,0 +1,134 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+)
+
+// latSeries builds a series whose windows carry the given p99.9 values
+// with enough ops to be judged.
+func latSeries(p999s ...int64) Series {
+	ws := make([]WindowStats, len(p999s))
+	for i, v := range p999s {
+		ws[i] = WindowStats{Ops: 50, P50: v / 2, P999: v, Max: v + 10}
+	}
+	return mkSeries(ws...)
+}
+
+func TestSLOPass(t *testing.T) {
+	o := SLO{Name: "tail", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 0.99}
+	r := o.Evaluate(latSeries(1000, 1200, 900, 1500))
+	if !r.Pass || r.Violations != 0 || r.Windows != 4 || r.BurnRate != 0 {
+		t.Fatalf("clean series verdict wrong: %+v", r)
+	}
+	if r.WorstWindow != 3 || r.WorstValue != 1500 {
+		t.Errorf("worst excursion = window %d (%d), want window 3 (1500)", r.WorstWindow, r.WorstValue)
+	}
+	if s := r.String(); !strings.Contains(s, "PASS") {
+		t.Errorf("String() lacks verdict: %q", s)
+	}
+}
+
+func TestSLOFailAndBurnRate(t *testing.T) {
+	// TargetFrac 0.75 keeps the budget exactly representable in float64.
+	o := SLO{Name: "tail", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 0.75}
+	// 5 of 10 windows violate; budget is 0.25 → burn 2.0x.
+	r := o.Evaluate(latSeries(1000, 5000, 1000, 5000, 1000, 5000, 1000, 5000, 1000, 9000))
+	if r.Pass || r.Violations != 5 || r.Windows != 10 {
+		t.Fatalf("violating series verdict wrong: %+v", r)
+	}
+	if r.ViolationFrac != 0.5 || r.BurnRate != 2.0 {
+		t.Errorf("frac/burn = %v/%v, want 0.5/2.0", r.ViolationFrac, r.BurnRate)
+	}
+	if r.WorstWindow != 9 || r.WorstValue != 9000 {
+		t.Errorf("worst excursion = window %d (%d), want window 9 (9000)", r.WorstWindow, r.WorstValue)
+	}
+	if s := r.String(); !strings.Contains(s, "FAIL") || !strings.Contains(s, "2.00x") {
+		t.Errorf("String() lacks verdict or burn: %q", s)
+	}
+}
+
+// A burn of exactly 1.0 spends the whole budget without exceeding it.
+func TestSLOBurnBoundary(t *testing.T) {
+	o := SLO{Name: "b", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 0.75}
+	r := o.Evaluate(latSeries(1000, 1000, 1000, 5000))
+	if r.BurnRate != 1.0 || !r.Pass {
+		t.Errorf("burn-1.0 series: burn=%v pass=%v, want 1.0/true", r.BurnRate, r.Pass)
+	}
+}
+
+// An empty or unjudgeable series passes vacuously: nothing violated the
+// budget, and WorstWindow says no window was judged.
+func TestSLOVacuousPass(t *testing.T) {
+	o := SLO{Name: "v", Percentile: "p99.9", MaxCycles: 100, TargetFrac: 0.99}
+	for _, s := range []Series{
+		{WidthCycles: MinWidth, FreqGHz: 1},
+		mkSeries(WindowStats{Commits: 50}), // events but no ops
+	} {
+		r := o.Evaluate(s)
+		if !r.Pass || r.Windows != 0 || r.WorstWindow != -1 {
+			t.Errorf("vacuous verdict wrong: %+v", r)
+		}
+	}
+	// Unknown percentile names judge nothing rather than judging zeros.
+	bad := SLO{Name: "u", Percentile: "p42", MaxCycles: 100, TargetFrac: 0.99}
+	if r := bad.Evaluate(latSeries(1000, 1000)); r.Windows != 0 || !r.Pass {
+		t.Errorf("unknown percentile judged windows: %+v", r)
+	}
+}
+
+// MinOps excludes thin windows whose percentiles are noise.
+func TestSLOMinOps(t *testing.T) {
+	s := latSeries(1000, 9000, 1000)
+	s.Windows[1].Ops = 3 // the violating window is too thin to judge
+	o := SLO{Name: "m", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 0.9, MinOps: 8}
+	r := o.Evaluate(s)
+	if r.Windows != 2 || r.Violations != 0 || !r.Pass {
+		t.Errorf("MinOps did not exclude the thin window: %+v", r)
+	}
+}
+
+// A 100% target has zero budget: any violation fails, with a finite
+// ordered burn stand-in.
+func TestSLOZeroBudget(t *testing.T) {
+	o := SLO{Name: "z", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 1.0}
+	r := o.Evaluate(latSeries(1000, 5000, 1000))
+	if r.Pass || r.BurnRate != 3 {
+		t.Errorf("zero-budget verdict: pass=%v burn=%v, want fail with burn 3 (1 violation x 3 windows)", r.Pass, r.BurnRate)
+	}
+	clean := o.Evaluate(latSeries(1000, 1000))
+	if !clean.Pass || clean.BurnRate != 0 {
+		t.Errorf("zero-budget clean verdict: %+v", clean)
+	}
+}
+
+// The "p999" alias and every named percentile select the right field.
+func TestSLOPercentileSelection(t *testing.T) {
+	w := WindowStats{Ops: 50, P50: 1, P90: 2, P99: 3, P999: 4, Max: 5}
+	s := mkSeries(w)
+	for _, tc := range []struct {
+		pct  string
+		want int64
+	}{{"p50", 1}, {"p90", 2}, {"p99", 3}, {"p99.9", 4}, {"p999", 4}, {"max", 5}} {
+		o := SLO{Name: tc.pct, Percentile: tc.pct, MaxCycles: 0, TargetFrac: 0.5}
+		if r := o.Evaluate(s); r.WorstValue != tc.want {
+			t.Errorf("%s selected %d, want %d", tc.pct, r.WorstValue, tc.want)
+		}
+	}
+}
+
+// EvaluateSLOs preserves declaration order for deterministic reports.
+func TestEvaluateSLOsOrder(t *testing.T) {
+	s := latSeries(1000, 1000)
+	slos := []SLO{
+		{Name: "zz", Percentile: "p99.9", MaxCycles: 2000, TargetFrac: 0.9},
+		{Name: "aa", Percentile: "max", MaxCycles: 2000, TargetFrac: 0.9},
+	}
+	rs := EvaluateSLOs(s, slos)
+	if len(rs) != 2 || rs[0].SLO.Name != "zz" || rs[1].SLO.Name != "aa" {
+		t.Errorf("results reordered: %+v", rs)
+	}
+	if got := EvaluateSLOs(s, nil); len(got) != 0 {
+		t.Errorf("nil SLO set produced results: %+v", got)
+	}
+}

@@ -182,6 +182,7 @@ type Machine struct {
 	strands []*Strand
 
 	trc *obs.Tracer
+	win obs.EventSink
 
 	// Mode-dependent queue capacities, resolved once at construction so
 	// the transaction hot paths never re-branch on cfg.Mode.
@@ -316,6 +317,19 @@ func (m *Machine) StartTrace(perStrandCap int) *obs.Tracer {
 
 // Tracer returns the attached tracer, or nil.
 func (m *Machine) Tracer() *obs.Tracer { return m.trc }
+
+// AttachEventSink points every strand's trace hook at the streaming sink
+// (nil detaches). Like AttachTracer it cannot change a run's virtual-time
+// behaviour; a sink and a tracer may be attached simultaneously.
+func (m *Machine) AttachEventSink(k obs.EventSink) {
+	m.win = k
+	for _, s := range m.strands {
+		s.win = k
+	}
+}
+
+// EventSink returns the attached streaming sink, or nil.
+func (m *Machine) EventSink() obs.EventSink { return m.win }
 
 // PublishMetrics registers every strand's event counters with the unified
 // metrics registry under the "sim" subsystem, keyed by strand.

@@ -96,6 +96,11 @@ type Strand struct {
 	// and allocates nothing, so traced runs are cycle-identical to untraced
 	// ones.
 	trc *obs.Tracer
+
+	// win, when non-nil, receives the same hook-point stream as trc but as
+	// a streaming fold (the windowed timeseries recorder). Same contract,
+	// same nil-check-only cost when detached; both may be attached at once.
+	win obs.EventSink
 }
 
 func newStrand(m *Machine, id int) *Strand {
@@ -140,6 +145,9 @@ func (s *Strand) Stats() Stats { return s.stats }
 func (s *Strand) TraceEvent(kind obs.EventKind, arg uint64) {
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, kind, arg)
+	}
+	if s.win != nil {
+		s.win.SinkEvent(s.id, s.clock, kind, arg)
 	}
 }
 

@@ -76,6 +76,9 @@ func (s *Strand) TxBegin() {
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxBegin, 0)
 	}
+	if s.win != nil {
+		s.win.SinkEvent(s.id, s.clock, obs.EvTxBegin, 0)
+	}
 }
 
 // TxActive reports whether a transaction is in flight.
@@ -102,6 +105,9 @@ func (s *Strand) txAbort(reason uint32) {
 	t.cpsReg = reason
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxAbort, uint64(reason))
+	}
+	if s.win != nil {
+		s.win.SinkEvent(s.id, s.clock, obs.EvTxAbort, uint64(reason))
 	}
 	for _, line := range t.marked {
 		s.m.mem.lines[line].marked &^= s.bit
@@ -470,6 +476,9 @@ func (s *Strand) TxCommit() bool {
 	s.stats.TxCommits++
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxCommit, uint64(drained))
+	}
+	if s.win != nil {
+		s.win.SinkEvent(s.id, s.clock, obs.EvTxCommit, uint64(drained))
 	}
 	return true
 }

@@ -41,6 +41,7 @@ type Driver struct {
 	c     *Compiled
 	s     *sim.Strand
 	lat   *obs.LatencyRecorder
+	ws    obs.LatencySink
 	arr   prng
 	tNext int64
 }
@@ -57,6 +58,13 @@ func (c *Compiled) Driver(s *sim.Strand, lat *obs.LatencyRecorder) Driver {
 	}
 	return d
 }
+
+// Observe additionally streams each operation's (completion cycle,
+// latency) pair into ws — the windowed timeseries recorder — alongside
+// the run-wide histogram. nil detaches. Observation cannot perturb the
+// run: the sink call happens after the operation completes and follows
+// the same no-cycles/no-randomness contract as the latency recorder.
+func (d *Driver) Observe(ws obs.LatencySink) { d.ws = ws }
 
 // Run executes n operations, invoking do(i, op, key) for each: i is the
 // iteration index (the legacy loops' loop variable), op indexes the spec's
@@ -83,6 +91,9 @@ func (d *Driver) Run(n int, do func(i, op int, key uint64)) {
 		do(i, op, key)
 		if d.lat != nil {
 			d.lat.Record(d.s.Clock() - start)
+		}
+		if d.ws != nil {
+			d.ws.RecordLatencyAt(d.s.Clock(), d.s.Clock()-start)
 		}
 	}
 }

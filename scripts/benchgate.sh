@@ -1,0 +1,49 @@
+#!/bin/sh
+# benchgate.sh — performance regression gate over the committed bench
+# record: re-measure the cold serial fig2a end-to-end time with
+# scripts/bench.sh and fail when it regresses more than THRESHOLD_PCT
+# (default 10%) against the checked-in baseline's after-block minimum.
+#
+# The baseline is the newest committed BENCH_PR*.json's
+# after.fig2a_cold_serial_ms.min — the same min-of-N protocol this script
+# re-runs, which is what makes the comparison meaningful on a drifting CI
+# host: the minimum of several rounds cancels most scheduler noise, and
+# the 10% margin absorbs the rest. The gate guards the end-to-end hot
+# path (simulator + workload driver + figure rendering), so an accidental
+# O(n) regression or a perturbing observability hook shows up here even
+# if every golden test still passes.
+#
+# Usage: scripts/benchgate.sh [baseline.json]
+#   THRESHOLD_PCT=15 scripts/benchgate.sh     # custom margin
+#   ROUNDS=5 scripts/benchgate.sh             # more rounds (see bench.sh)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=${1:-$(ls BENCH_PR*.json | sort -V | tail -1)}
+threshold=${THRESHOLD_PCT:-10}
+
+if [ ! -f "$baseline" ]; then
+    echo "benchgate: baseline $baseline not found" >&2
+    exit 2
+fi
+
+json_min() {
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["after"]["fig2a_cold_serial_ms"]["min"])' "$1"
+}
+
+base_ms=$(json_min "$baseline")
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+echo "benchgate: re-measuring against $baseline (baseline ${base_ms}ms, margin ${threshold}%)..." >&2
+scripts/bench.sh "$fresh" >&2
+new_ms=$(json_min "$fresh")
+
+limit=$((base_ms * (100 + threshold) / 100))
+echo "benchgate: cold serial fig2a ${new_ms}ms vs baseline ${base_ms}ms (limit ${limit}ms)" >&2
+if [ "$new_ms" -gt "$limit" ]; then
+    echo "benchgate: FAIL — regression beyond ${threshold}% budget" >&2
+    exit 1
+fi
+echo "benchgate: OK" >&2
