@@ -15,6 +15,7 @@
 //	figures -latency -exp fig2b      # add p50/p90/p99/p99.9 to any figure
 //	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
 //	figures -exp timeline            # windowed timeseries + detectors + SLOs
+//	figures -exp fleet               # sharded service tier: router x batching x 2PC
 //	figures -exp tail -timeline w.json    # window series of any experiment
 //	figures -timeline-window 16384   # window width in simulated cycles
 //	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
@@ -32,7 +33,9 @@
 // divide inline treemap volano fig4 msfse profile attrib, the tail
 // latency experiment tail (zipfian skew × system, percentile tables, see
 // docs/WORKLOADS.md), the windowed-timeseries experiment timeline
-// (pathology detectors + SLO burn rates, see docs/OBSERVABILITY.md),
+// (pathology detectors + SLO burn rates, see docs/OBSERVABILITY.md), the
+// sharded service-tier experiment fleet (router × batching × 2PC over
+// the shard-count axis, see docs/SERVICE.md),
 // plus the ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI
 // failure weight), ablate-throttle (adaptive concurrency throttling
 // extension) and policy (retry policy × fault-injection profile, see
@@ -412,6 +415,7 @@ func buildExperiments(o bench.Options, mo bench.MSFOptions) []experiment {
 		{"volano", func() (*bench.Figure, error) { return bench.VolanoFigure(o) }},
 		{"tail", func() (*bench.Figure, error) { return bench.TailFigure(o) }},
 		{"timeline", func() (*bench.Figure, error) { return bench.TimelineFigure(o) }},
+		{"fleet", func() (*bench.Figure, error) { return bench.FleetFigure(o) }},
 		{"fig4", func() (*bench.Figure, error) { return bench.Fig4(mo) }},
 		{"msfse", func() (*bench.Figure, error) { return bench.SEModeMSF(mo) }},
 		{"ablate-retry", func() (*bench.Figure, error) { return bench.AblationRetryBudget(o) }},

@@ -122,3 +122,27 @@ func TestFlagSurfaceCarriesTimeline(t *testing.T) {
 		t.Errorf("parsed timeline=%q window=%d", *fl.timeline, *fl.tlWindow)
 	}
 }
+
+// The fleet experiment (sharded service tier) is part of the catalogue,
+// the list stays sorted, and the unknown-name error enumerates it.
+func TestCatalogueIncludesFleet(t *testing.T) {
+	valid := experimentNames(buildExperiments(bench.Options{}, bench.MSFOptions{}))
+	if !sort.StringsAreSorted(valid) {
+		t.Errorf("-exp list is not sorted: %v", valid)
+	}
+	set := map[string]bool{}
+	for _, n := range valid {
+		set[n] = true
+	}
+	if !set["fleet"] {
+		t.Fatalf("experiment catalogue missing \"fleet\": %v", valid)
+	}
+	if sel, err := parseExpFlag("fleet", valid); err != nil || !sel["fleet"] {
+		t.Fatalf("-exp fleet rejected: sel=%v err=%v", sel, err)
+	}
+	if _, err := parseExpFlag("fleeet", valid); err == nil {
+		t.Fatal("unknown experiment accepted")
+	} else if !strings.Contains(err.Error(), "fleet") {
+		t.Errorf("unknown-experiment error does not enumerate fleet: %v", err)
+	}
+}

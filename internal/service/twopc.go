@@ -1,0 +1,250 @@
+package service
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// Two-phase commit over single-shard TM transactions. The coordinator
+// (the first op's shard) drives each participant through a *prepare* TM
+// transaction — validate the keys, check/claim per-key lock-owner words,
+// stage the operation — and then through a *commit* (apply staged ops,
+// release owners) or *abort* (release owners, staged words become inert)
+// TM transaction. Atomicity inside each shard comes from the shard's own
+// TM system; atomicity across shards comes from the owner words: a key
+// claimed by transaction T blocks any other transaction's prepare until
+// T commits or aborts, and a single-shard op that races a prepared key
+// simply sees the pre-transaction table state (staged ops are invisible
+// until the commit transaction applies them).
+//
+// Failure model: the coordinator can crash after any prefix of prepares
+// (CoordFailPct in Config; failAfter in RunTxn). Recovery is
+// presumed-abort — with no commit decision recorded, every prepared
+// participant is driven through the abort transaction, which restores
+// exactly the pre-transaction state. Duplicate prepare delivery is
+// idempotent: a participant that sees its own txid as owner re-stages
+// and acks again.
+
+// Branch sites of the 2PC bodies.
+var (
+	pcPrepOwner  = core.PC("service.prepare.owner")
+	pcAbortOwner = core.PC("service.abort.owner")
+)
+
+// participant is one shard's share of a cross-shard transaction.
+type participant struct {
+	sh  *Shard
+	ops []Op
+}
+
+// participants groups ops by shard in first-touch order. A transaction
+// touching the same shard twice collapses to one participant with both
+// ops — one prepare, one commit — not two independent legs.
+func (f *Fleet) participants(ops []Op) []participant {
+	var parts []participant
+	for _, op := range ops {
+		id := f.router.Shard(op.Key)
+		merged := false
+		for i := range parts {
+			if parts[i].sh.id == id {
+				parts[i].ops = append(parts[i].ops, op)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			parts = append(parts, participant{sh: f.shards[id], ops: []Op{op}})
+		}
+	}
+	return parts
+}
+
+// TxnOutcome is one cross-shard transaction's result.
+type TxnOutcome struct {
+	// Committed is whether the transaction took effect; an aborted
+	// transaction left every shard at its pre-transaction state.
+	Committed bool
+	// Completed is the fleet cycle the coordinator observed the final ack.
+	Completed int64
+}
+
+// phase runs body on strand 0 of sh's machine, starting no earlier than
+// fleet cycle earliest and no earlier than the shard being free, and
+// returns the fleet cycle at which the phase completes. Shard CPU time
+// advances by exactly the cycles the body consumed.
+func (f *Fleet) phase(sh *Shard, earliest int64, body func(st *sim.Strand)) int64 {
+	start := earliest
+	if sh.busyUntil > start {
+		start = sh.busyUntil
+	}
+	var dur int64
+	sh.m.Run(func(st *sim.Strand) {
+		if st.ID() != 0 {
+			return
+		}
+		t0 := st.Clock()
+		body(st)
+		dur = st.Clock() - t0
+	})
+	sh.busyUntil = start + dur
+	return sh.busyUntil
+}
+
+// PrepareShard runs the prepare transaction for txid's ops on shard i,
+// dispatched at fleet cycle at: inside one TM transaction it checks every
+// key's owner word (free, or already txid — duplicate delivery is
+// idempotent), performs a validation read of each key, then claims the
+// owners and stages op kind and value in simulated memory. It reports
+// whether the participant voted yes and the fleet cycle of the ack.
+func (f *Fleet) PrepareShard(i int, at int64, txid uint64, ops []Op) (bool, int64) {
+	sh := f.shards[i]
+	voted := false
+	done := f.phase(sh, at, func(st *sim.Strand) {
+		sh.sys.Atomic(st, func(c core.Ctx) {
+			ok := true
+			for _, op := range ops {
+				owner := c.Load(sh.lockOwner + sim.Addr(op.Key))
+				c.Branch(pcPrepOwner, owner != 0, true)
+				if owner != 0 && uint64(owner) != txid {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, op := range ops {
+					sh.tab.Lookup(c, op.Key) // validation read
+					c.Store(sh.lockOwner+sim.Addr(op.Key), sim.Word(txid))
+					c.Store(sh.stagedOp+sim.Addr(op.Key), sim.Word(op.Kind)+1)
+					c.Store(sh.stagedVal+sim.Addr(op.Key), op.Val)
+				}
+			}
+			// Host flag is written unconditionally at the end of the body, so
+			// an aborted-and-retried attempt cannot leave a stale vote.
+			voted = ok
+		})
+	})
+	return voted, done
+}
+
+// CommitShard runs the commit transaction for txid's ops on shard i:
+// apply every staged op to the table and release the owner and staged
+// words, all in one TM transaction. Insert nodes are preallocated before
+// the atomic block (the Session pattern), and losers are returned to the
+// pool after it.
+func (f *Fleet) CommitShard(i int, at int64, txid uint64, ops []Op) int64 {
+	sh := f.shards[i]
+	return f.phase(sh, at, func(st *sim.Strand) {
+		nodes := make([]sim.Addr, len(ops))
+		for j, op := range ops {
+			if op.Kind == Insert {
+				nodes[j] = sh.tab.AllocNode(st, op.Key, op.Val)
+			}
+		}
+		inserted := make([]bool, len(ops))
+		removed := make([]sim.Addr, len(ops))
+		sh.sys.Atomic(st, func(c core.Ctx) {
+			// Reset host-side results first: the body may retry.
+			for j := range ops {
+				inserted[j] = false
+				removed[j] = 0
+			}
+			for j, op := range ops {
+				switch op.Kind {
+				case Lookup:
+					sh.tab.Lookup(c, op.Key)
+				case Insert:
+					inserted[j] = sh.tab.InsertNode(c, op.Key, nodes[j])
+				default:
+					removed[j] = sh.tab.DeleteNode(c, op.Key)
+				}
+				c.Store(sh.lockOwner+sim.Addr(op.Key), 0)
+				c.Store(sh.stagedOp+sim.Addr(op.Key), 0)
+				c.Store(sh.stagedVal+sim.Addr(op.Key), 0)
+			}
+		})
+		for j, op := range ops {
+			if op.Kind == Insert && !inserted[j] {
+				sh.tab.FreeNode(st, nodes[j])
+			}
+			if removed[j] != 0 {
+				sh.tab.FreeNode(st, removed[j])
+			}
+		}
+	})
+}
+
+// AbortShard runs the abort transaction for txid's ops on shard i:
+// release every owner word still held by txid. Staged op/value words are
+// left behind as inert garbage — semantic shard state is the table plus
+// the owner words, and both are exactly their pre-transaction values
+// after an abort.
+func (f *Fleet) AbortShard(i int, at int64, txid uint64, ops []Op) int64 {
+	sh := f.shards[i]
+	return f.phase(sh, at, func(st *sim.Strand) {
+		sh.sys.Atomic(st, func(c core.Ctx) {
+			for _, op := range ops {
+				a := sh.lockOwner + sim.Addr(op.Key)
+				owner := c.Load(a)
+				c.Branch(pcAbortOwner, uint64(owner) == txid, true)
+				if uint64(owner) == txid {
+					c.Store(a, 0)
+				}
+			}
+		})
+	})
+}
+
+// crashRecoveryRPCs is the extra round trips a crashed coordinator's
+// recovery costs before the presumed-abort pass starts.
+const crashRecoveryRPCs = 4
+
+// RunTxn executes one cross-shard transaction whose coordinator is
+// dispatched at fleet cycle at. failAfter < 0 is the normal path;
+// failAfter = k injects a coordinator crash after k successful prepares
+// (k past the participant count crashes after all prepares — still an
+// abort, because no commit decision was recorded). Every phase costs one
+// RPC each way; phases run sequentially in participant order, so the
+// transaction's latency scales with its shard span.
+func (f *Fleet) RunTxn(at int64, ops []Op, failAfter int) TxnOutcome {
+	txid := f.nextTxn
+	f.nextTxn++
+	parts := f.participants(ops)
+	crash := failAfter >= 0
+	limit := len(parts)
+	if crash && failAfter < limit {
+		limit = failAfter
+	}
+	tc := at
+	prepared := 0
+	allYes := true
+	for i := 0; i < limit; i++ {
+		p := parts[i]
+		ok, done := f.PrepareShard(p.sh.id, tc+f.cfg.RPCCycles, txid, p.ops)
+		tc = done + f.cfg.RPCCycles
+		prepared = i + 1
+		if !ok {
+			allYes = false
+			break
+		}
+	}
+	commit := allYes && !crash && prepared == len(parts)
+	if crash {
+		tc += crashRecoveryRPCs * f.cfg.RPCCycles
+	}
+	for i := 0; i < prepared; i++ {
+		p := parts[i]
+		var done int64
+		if commit {
+			done = f.CommitShard(p.sh.id, tc+f.cfg.RPCCycles, txid, p.ops)
+		} else {
+			done = f.AbortShard(p.sh.id, tc+f.cfg.RPCCycles, txid, p.ops)
+		}
+		tc = done + f.cfg.RPCCycles
+	}
+	if commit {
+		f.committed2PC++
+	} else {
+		f.aborted2PC++
+	}
+	return TxnOutcome{Committed: commit, Completed: tc}
+}

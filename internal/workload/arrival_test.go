@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"testing"
+)
+
+// The shaped arrivals render canonically — these strings enter
+// runner.Spec.Params as cache keys, so the forms are pinned — and the
+// constant form stays byte-identical to the pre-shape rendering.
+func TestArrivalCanonicalStrings(t *testing.T) {
+	cases := []struct {
+		a    Arrival
+		want string
+	}{
+		{Arrival{}, "closed"},
+		{Arrival{MeanGap: 200, Seed: 9}, "open:200:9"},
+		{Diurnal(512, 7, 1e6, 0.5), "diurnal:512:7:1e+06:0.5"},
+		{FlashCrowd(256, 3, 50000, 20000, 8), "flash:256:3:50000:20000:8"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Shape parameters are validated through Spec.Validate.
+func TestArrivalShapeValidation(t *testing.T) {
+	base := Spec{Ops: KVMix(50), Roll: 100, Keys: Uniform(64)}
+	bad := []Arrival{
+		{MeanGap: -1},
+		Diurnal(100, 1, 0, 0.5),          // Period <= 0
+		Diurnal(100, 1, 1e6, 1.0),        // Amplitude out of [0,1)
+		Diurnal(100, 1, 1e6, -0.1),       // negative Amplitude
+		FlashCrowd(100, 1, 0, 10, 0),     // BurstFactor <= 0
+		FlashCrowd(100, 1, 0, -10, 2),    // negative BurstLen
+		{MeanGap: 100, Shape: Shape(99)}, // unknown shape
+	}
+	for i, a := range bad {
+		sp := base
+		sp.Arrival = a
+		if err := sp.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid arrival accepted", i, a)
+		}
+	}
+	for i, a := range []Arrival{
+		{},
+		{MeanGap: 100, Seed: 1},
+		Diurnal(100, 1, 1e6, 0.9),
+		FlashCrowd(100, 1, 0, 0, 2), // zero-length burst is legal (no-op)
+	} {
+		sp := base
+		sp.Arrival = a
+		if err := sp.Validate(); err != nil {
+			t.Errorf("case %d (%+v): valid arrival rejected: %v", i, a, err)
+		}
+	}
+}
+
+// Shaped arrivals are seed-stable: the same spec produces the same
+// schedule, and different arrival seeds produce different schedules —
+// for both new shapes.
+func TestShapedArrivalSeedStability(t *testing.T) {
+	shapes := map[string]func(seed uint64) Arrival{
+		"diurnal": func(seed uint64) Arrival { return Diurnal(300, seed, 1e5, 0.8) },
+		"flash":   func(seed uint64) Arrival { return FlashCrowd(300, seed, 2e4, 4e4, 10) },
+	}
+	for name, mk := range shapes {
+		schedule := func(seed uint64) []int64 {
+			sp := Spec{Ops: KVMix(50), Roll: 100, Keys: Uniform(64), Arrival: mk(seed)}
+			src := MustCompile(sp).Source(1)
+			var out []int64
+			for i := 0; i < 300; i++ {
+				out = append(out, src.NextArrival())
+			}
+			return out
+		}
+		a, b := schedule(1), schedule(1)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at arrival %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+		c := schedule(2)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 produced identical schedules", name)
+		}
+	}
+}
+
+// The rate envelope must never perturb the op/key stream: a diurnal or
+// flash-crowd run draws exactly the ops and keys of the closed-loop twin
+// (the arrival stream is separate — same discipline as plain open loop).
+func TestShapedArrivalsDoNotPerturbOpStream(t *testing.T) {
+	closed := Spec{Ops: KVMix(30), Roll: 100, Keys: Zipfian(512, 0.99)}
+	for name, a := range map[string]Arrival{
+		"diurnal": Diurnal(700, 42, 5e4, 0.9),
+		"flash":   FlashCrowd(700, 42, 1e4, 3e4, 16),
+	} {
+		shaped := closed
+		shaped.Arrival = a
+		want := digest(collect(t, MustCompile(closed), 2, 400, 1))
+		got := digest(collect(t, MustCompile(shaped), 2, 400, 1))
+		if got != want {
+			t.Errorf("%s arrivals perturbed the op/key stream: %s vs %s", name, got, want)
+		}
+	}
+}
+
+// The flash-crowd envelope actually compresses gaps inside the burst
+// window: mean gap during the burst is far below the mean outside it.
+func TestFlashCrowdCompressesBurstWindow(t *testing.T) {
+	const at, length, factor = 1e5, 1e5, 20.0
+	sp := Spec{Ops: KVMix(50), Roll: 100, Keys: Uniform(64),
+		Arrival: FlashCrowd(1000, 3, at, length, factor)}
+	src := MustCompile(sp).Source(1)
+	var inBurst, outBurst []int64
+	prev := int64(0)
+	for i := 0; i < 4000; i++ {
+		t0 := src.NextArrival()
+		gap := t0 - prev
+		ft := float64(prev)
+		if ft >= at && ft < at+length {
+			inBurst = append(inBurst, gap)
+		} else {
+			outBurst = append(outBurst, gap)
+		}
+		prev = t0
+	}
+	mean := func(xs []int64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		var s int64
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	mi, mo := mean(inBurst), mean(outBurst)
+	if len(inBurst) < 100 || len(outBurst) < 100 {
+		t.Fatalf("burst window poorly sampled: %d in, %d out", len(inBurst), len(outBurst))
+	}
+	if mi*4 > mo {
+		t.Fatalf("burst mean gap %.0f not well below outside mean %.0f (factor %g)", mi, mo, factor)
+	}
+}
+
+// The diurnal envelope modulates the schedule: with a large amplitude the
+// arrival schedule differs from the constant-shape schedule with the same
+// seed, but with amplitude 0 it is bit-identical (the envelope divides by
+// exactly 1).
+func TestDiurnalEnvelopeEffect(t *testing.T) {
+	schedule := func(a Arrival) []int64 {
+		sp := Spec{Ops: KVMix(50), Roll: 100, Keys: Uniform(64), Arrival: a}
+		src := MustCompile(sp).Source(1)
+		var out []int64
+		for i := 0; i < 500; i++ {
+			out = append(out, src.NextArrival())
+		}
+		return out
+	}
+	flat := schedule(Arrival{MeanGap: 300, Seed: 7})
+	zero := schedule(Diurnal(300, 7, 1e5, 0))
+	for i := range flat {
+		if flat[i] != zero[i] {
+			t.Fatalf("amplitude-0 diurnal diverged from constant at %d: %d vs %d", i, zero[i], flat[i])
+		}
+	}
+	mod := schedule(Diurnal(300, 7, 1e5, 0.9))
+	same := true
+	for i := range flat {
+		if flat[i] != mod[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("amplitude-0.9 diurnal schedule identical to constant schedule")
+	}
+}
+
+// Source mirrors the Driver's stream-separation discipline: the primary
+// (op, key) stream is a pure function of (spec, seed) — consuming
+// arrivals and extra keys does not move it — and the extra stream is
+// independent of the primary.
+func TestSourceStreamSeparation(t *testing.T) {
+	sp := Spec{Ops: KVMix(30), Roll: 100, Keys: Zipfian(512, 0.99),
+		Arrival: Diurnal(300, 7, 1e5, 0.5)}
+	c := MustCompile(sp)
+	plain := c.Source(1)
+	noisy := c.Source(1)
+	for i := 0; i < 500; i++ {
+		// The noisy twin consumes arrivals and extra draws between ops.
+		noisy.NextArrival()
+		noisy.ExtraKey()
+		noisy.ExtraRoll(100)
+		op1, k1 := plain.Next()
+		op2, k2 := noisy.Next()
+		if op1 != op2 || k1 != k2 {
+			t.Fatalf("primary stream perturbed at op %d: (%d,%d) vs (%d,%d)", i, op1, k1, op2, k2)
+		}
+	}
+	// Distinct source seeds give distinct primary streams.
+	a := c.Source(1)
+	b := c.Source(2)
+	diff := false
+	for i := 0; i < 100; i++ {
+		o1, k1 := a.Next()
+		o2, k2 := b.Next()
+		if o1 != o2 || k1 != k2 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("source seeds 1 and 2 produced identical primary streams")
+	}
+}
+
+// Source keys stay in range for every distribution, and closed-loop
+// NextArrival degrades to back-to-back (constant) arrivals.
+func TestSourceKeyRangeAndClosedLoop(t *testing.T) {
+	for name, keys := range map[string]Keys{
+		"uniform": Uniform(256),
+		"zipf":    Zipfian(256, 0.9),
+		"hotspot": Hotspot(256, 0.1, 90),
+	} {
+		src := MustCompile(KVSpec(keys, 50)).Source(3)
+		for i := 0; i < 2000; i++ {
+			_, key := src.Next()
+			if key >= 256 {
+				t.Fatalf("%s: key %d out of range", name, key)
+			}
+		}
+	}
+	src := MustCompile(KVSpec(Uniform(16), 50)).Source(1)
+	if a1, a2 := src.NextArrival(), src.NextArrival(); a1 != 0 || a2 != 0 {
+		t.Fatalf("closed-loop arrivals = %d,%d, want 0,0", a1, a2)
+	}
+}

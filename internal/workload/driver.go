@@ -98,9 +98,18 @@ func (d *Driver) Run(n int, do func(i, op int, key uint64)) {
 	}
 }
 
-// gap draws one exponential inter-arrival gap (mean meanGap cycles, min 1).
+// gap draws one exponential inter-arrival gap (min 1 cycle). The mean is
+// the spec's MeanGap divided by the shape envelope's rate factor at the
+// previous arrival time; a constant shape divides by exactly 1, so the
+// draw (one stream consumption, same formula) is bit-identical to the
+// pre-shape generator.
 func (d *Driver) gap() int64 {
-	g := -d.c.meanGap * math.Log(d.arr.float01())
+	return drawGap(&d.c.arrival, &d.arr, d.tNext)
+}
+
+// drawGap is the one shared inter-arrival draw (Driver and Source).
+func drawGap(a *Arrival, r *prng, at int64) int64 {
+	g := -(a.MeanGap / a.rateFactor(at)) * math.Log(r.float01())
 	if g < 1 {
 		return 1
 	}

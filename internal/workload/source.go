@@ -1,0 +1,111 @@
+package workload
+
+// Source draws a compiled workload's (op, key) stream and arrival times
+// without a sim.Strand: it is the load generator of the sharded service
+// tier (internal/service), where requests are produced at the *fleet*
+// level — before any simulated machine is chosen — and only then routed
+// to a shard. Two dedicated splitmix64 streams keep the same discipline
+// the Driver enforces per strand:
+//
+//   - the op/key stream draws exactly one roll per op selection and the
+//     distribution's draws per key, so the operation stream is a pure
+//     function of (spec, seed) — independent of the arrival process and
+//     of anything the service tier does with the requests;
+//   - the arrival stream is separate, so changing the arrival shape (or
+//     disabling arrivals entirely) never perturbs which ops and keys are
+//     generated. ExtraKey draws from a third stream with the same
+//     rationale: a cross-shard mix change must not shift the primary
+//     stream.
+type Source struct {
+	c     *Compiled
+	rng   prng // op/key stream
+	extra prng // secondary-key stream (cross-shard mixes)
+	arr   prng // arrival stream
+	tNext int64
+}
+
+// Source binds the compiled workload to a fleet-level generator. The
+// op/key stream seeds from seed, the secondary-key stream from seed+1
+// folds, and the arrival stream from the spec's Arrival.Seed (folded with
+// seed so two sources with different seeds are fully independent).
+func (c *Compiled) Source(seed uint64) *Source {
+	return &Source{
+		c:     c,
+		rng:   prng{state: seed*0x9e3779b9 + 0x1234567},
+		extra: prng{state: seed*0x85ebca77 + 0xfedcba9},
+		arr:   prng{state: arrivalSeed(c.arrSeed, 0) ^ (seed * 0xc2b2ae35)},
+	}
+}
+
+// intn draws a uniform int in [0, n) from a stream.
+func intn(r *prng, n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// keyFrom draws one key of the spec's distribution from the given stream.
+func (s *Source) keyFrom(r *prng) uint64 {
+	k := &s.c.keys
+	switch k.Dist {
+	case KeyUniform:
+		return k.Offset + uint64(intn(r, k.Range))
+	case KeyZipfian:
+		u := float64(r.next()>>11) / (1 << 53)
+		return k.Offset + uint64(s.c.zipf.draw(u))
+	case KeyHotspot:
+		if intn(r, 100) < k.HotPct {
+			return k.Offset + uint64(intn(r, s.c.hotN))
+		}
+		return k.Offset + uint64(s.c.hotN) + uint64(intn(r, k.Range-s.c.hotN))
+	}
+	return 0 // KeyNone
+}
+
+// Next draws the next (op, key) pair in the spec's declared order from
+// the primary stream.
+func (s *Source) Next() (op int, key uint64) {
+	if s.c.order == KeyThenOp {
+		key = s.keyFrom(&s.rng)
+		op = s.roll()
+		return op, key
+	}
+	op = s.roll()
+	if !s.c.ops[op].NoKey {
+		key = s.keyFrom(&s.rng)
+	}
+	return op, key
+}
+
+// ExtraKey draws one additional key from the dedicated secondary stream —
+// the second leg of a cross-shard transaction. Consuming it does not move
+// the primary op/key stream.
+func (s *Source) ExtraKey() uint64 { return s.keyFrom(&s.extra) }
+
+// ExtraRoll draws a uniform int in [0, n) from the secondary stream (the
+// cross-shard-fraction roll, coordinator-fault rolls, ...).
+func (s *Source) ExtraRoll(n int) int { return intn(&s.extra, n) }
+
+// roll selects an op by cumulative weight from the primary stream.
+func (s *Source) roll() int {
+	if s.c.roll == 0 {
+		return 0
+	}
+	r := intn(&s.rng, s.c.roll)
+	for i, cum := range s.c.cum {
+		if r < cum {
+			return i
+		}
+	}
+	return len(s.c.cum) - 1
+}
+
+// NextArrival advances and returns the next arrival time in cycles. For a
+// closed-loop spec (no arrival process) it returns the previous arrival
+// time unchanged — back-to-back arrivals, so callers that always consume
+// arrivals degrade gracefully.
+func (s *Source) NextArrival() int64 {
+	if s.c.meanGap <= 0 {
+		return s.tNext
+	}
+	s.tNext += drawGap(&s.c.arrival, &s.arr, s.tNext)
+	return s.tNext
+}

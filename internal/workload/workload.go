@@ -119,6 +119,27 @@ const (
 	OpThenKey
 )
 
+// Shape selects the time-varying envelope of an open-loop arrival
+// process. The zero value is a constant rate (the PR-5 process); the
+// diurnal and flash-crowd shapes modulate the instantaneous rate as a
+// function of the arrival clock, which is how a service tier sees load
+// curves and traffic spikes rather than a flat offered rate.
+type Shape uint8
+
+const (
+	// ShapeConstant is a flat rate: exponential gaps with mean MeanGap.
+	ShapeConstant Shape = iota
+	// ShapeDiurnal modulates the rate sinusoidally with period Period
+	// cycles and relative amplitude Amplitude in [0,1): the instantaneous
+	// rate is base*(1 + Amplitude*sin(2*pi*t/Period)), a day/night curve
+	// compressed into simulated time.
+	ShapeDiurnal
+	// ShapeFlashCrowd multiplies the rate by BurstFactor during the window
+	// [BurstAt, BurstAt+BurstLen) cycles — a flash crowd slamming into an
+	// otherwise steady service.
+	ShapeFlashCrowd
+)
+
 // Arrival describes the arrival process. The zero value is closed-loop:
 // each operation starts the instant the previous one finishes, exactly the
 // paper's drivers. A positive MeanGap switches to an open-loop process
@@ -126,6 +147,9 @@ const (
 // drawn from a dedicated seeded stream; operations that arrive while the
 // strand is still busy queue, and their measured latency includes the
 // queueing delay — the property that exposes tail collapse under load.
+// Shape layers a time-varying envelope (diurnal curve, flash crowd) over
+// the base rate; gaps are drawn exponential with mean MeanGap divided by
+// the envelope's instantaneous rate factor at the previous arrival time.
 type Arrival struct {
 	// MeanGap is the mean inter-arrival gap in simulated cycles
 	// (0 = closed loop).
@@ -134,14 +158,87 @@ type Arrival struct {
 	// strand ID, so strands are mutually independent). Ignored when
 	// closed-loop.
 	Seed uint64
+	// Shape selects the rate envelope (constant, diurnal, flash crowd).
+	Shape Shape
+	// Period and Amplitude parameterize ShapeDiurnal.
+	Period    float64
+	Amplitude float64
+	// BurstAt, BurstLen and BurstFactor parameterize ShapeFlashCrowd.
+	BurstAt, BurstLen float64
+	BurstFactor       float64
 }
 
-// String renders the arrival process canonically for cache keys.
+// Diurnal is an open-loop arrival with a sinusoidal rate envelope.
+func Diurnal(meanGap float64, seed uint64, period, amplitude float64) Arrival {
+	return Arrival{MeanGap: meanGap, Seed: seed, Shape: ShapeDiurnal, Period: period, Amplitude: amplitude}
+}
+
+// FlashCrowd is an open-loop arrival whose rate multiplies by factor
+// during [at, at+length) cycles.
+func FlashCrowd(meanGap float64, seed uint64, at, length, factor float64) Arrival {
+	return Arrival{MeanGap: meanGap, Seed: seed, Shape: ShapeFlashCrowd, BurstAt: at, BurstLen: length, BurstFactor: factor}
+}
+
+// String renders the arrival process canonically for cache keys. The
+// constant-shape form is byte-identical to the pre-shape rendering, so
+// existing cache entries for plain open-loop cells still key identically.
 func (a Arrival) String() string {
 	if a.MeanGap <= 0 {
 		return "closed"
 	}
+	switch a.Shape {
+	case ShapeDiurnal:
+		return fmt.Sprintf("diurnal:%g:%d:%g:%g", a.MeanGap, a.Seed, a.Period, a.Amplitude)
+	case ShapeFlashCrowd:
+		return fmt.Sprintf("flash:%g:%d:%g:%g:%g", a.MeanGap, a.Seed, a.BurstAt, a.BurstLen, a.BurstFactor)
+	}
 	return fmt.Sprintf("open:%g:%d", a.MeanGap, a.Seed)
+}
+
+// rateFactor is the envelope's instantaneous rate multiplier at arrival
+// clock t. It is ≥ some positive floor for every valid Arrival, so the
+// derived mean gap MeanGap/rateFactor stays finite.
+func (a Arrival) rateFactor(t int64) float64 {
+	switch a.Shape {
+	case ShapeDiurnal:
+		return 1 + a.Amplitude*math.Sin(2*math.Pi*float64(t)/a.Period)
+	case ShapeFlashCrowd:
+		ft := float64(t)
+		if ft >= a.BurstAt && ft < a.BurstAt+a.BurstLen {
+			return a.BurstFactor
+		}
+	}
+	return 1
+}
+
+// validate checks the shape parameters of an open-loop arrival.
+func (a Arrival) validate() error {
+	if a.MeanGap < 0 {
+		return fmt.Errorf("workload: negative arrival MeanGap")
+	}
+	if a.MeanGap == 0 {
+		return nil
+	}
+	switch a.Shape {
+	case ShapeConstant:
+	case ShapeDiurnal:
+		if a.Period <= 0 {
+			return fmt.Errorf("workload: diurnal arrival needs Period > 0")
+		}
+		if !(a.Amplitude >= 0 && a.Amplitude < 1) {
+			return fmt.Errorf("workload: diurnal Amplitude must be in [0,1), got %g", a.Amplitude)
+		}
+	case ShapeFlashCrowd:
+		if a.BurstFactor <= 0 {
+			return fmt.Errorf("workload: flash-crowd BurstFactor must be > 0, got %g", a.BurstFactor)
+		}
+		if a.BurstLen < 0 {
+			return fmt.Errorf("workload: negative flash-crowd BurstLen")
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival shape %d", a.Shape)
+	}
+	return nil
 }
 
 // Spec declaratively describes one per-strand operation stream.
@@ -255,10 +352,7 @@ func (sp Spec) Validate() error {
 	default:
 		return fmt.Errorf("workload: unknown key distribution %d", k.Dist)
 	}
-	if sp.Arrival.MeanGap < 0 {
-		return fmt.Errorf("workload: negative arrival MeanGap")
-	}
-	return nil
+	return sp.Arrival.validate()
 }
 
 // Compiled is the validated, immutable execution form of a Spec: the
@@ -272,6 +366,7 @@ type Compiled struct {
 	keys    Keys
 	hotN    int
 	zipf    zipfParams
+	arrival Arrival
 	meanGap float64
 	arrSeed uint64
 }
@@ -286,6 +381,7 @@ func (sp Spec) Compile() (*Compiled, error) {
 		roll:    sp.Roll,
 		order:   sp.Order,
 		keys:    sp.Keys,
+		arrival: sp.Arrival,
 		meanGap: sp.Arrival.MeanGap,
 		arrSeed: sp.Arrival.Seed,
 	}

@@ -1,49 +1,84 @@
 #!/bin/sh
 # benchgate.sh — performance regression gate over the committed bench
-# record: re-measure the cold serial fig2a end-to-end time with
-# scripts/bench.sh and fail when it regresses more than THRESHOLD_PCT
-# (default 10%) against the checked-in baseline's after-block minimum.
+# record: re-measure the cold serial fig2a end-to-end time (and, when the
+# baseline records one, the tiny-config tail experiment) with
+# scripts/bench.sh and fail on regressions beyond the margin.
 #
-# The baseline is the newest committed BENCH_PR*.json's
+# The baseline is the newest committed BENCH_PR*.json. fig2a compares
 # after.fig2a_cold_serial_ms.min — the same min-of-N protocol this script
 # re-runs, which is what makes the comparison meaningful on a drifting CI
 # host: the minimum of several rounds cancels most scheduler noise, and
-# the 10% margin absorbs the rest. The gate guards the end-to-end hot
-# path (simulator + workload driver + figure rendering), so an accidental
-# O(n) regression or a perturbing observability hook shows up here even
-# if every golden test still passes.
+# the 10% margin absorbs the rest. The tail experiment is a single-round
+# timing, so it gates with a wider margin (default 50%) and is skipped
+# gracefully against baselines that predate it. The gate guards the
+# end-to-end hot paths (simulator + workload driver + figure rendering,
+# and the latency-capture sweep), so an accidental O(n) regression or a
+# perturbing observability hook shows up here even if every golden test
+# still passes.
 #
 # Usage: scripts/benchgate.sh [baseline.json]
-#   THRESHOLD_PCT=15 scripts/benchgate.sh     # custom margin
-#   ROUNDS=5 scripts/benchgate.sh             # more rounds (see bench.sh)
+#   THRESHOLD_PCT=15 scripts/benchgate.sh        # custom fig2a margin
+#   TAIL_THRESHOLD_PCT=75 scripts/benchgate.sh   # custom tail margin
+#   ROUNDS=5 scripts/benchgate.sh                # more rounds (see bench.sh)
 
 set -eu
 
 cd "$(dirname "$0")/.."
 baseline=${1:-$(ls BENCH_PR*.json | sort -V | tail -1)}
 threshold=${THRESHOLD_PCT:-10}
+tail_threshold=${TAIL_THRESHOLD_PCT:-50}
 
 if [ ! -f "$baseline" ]; then
     echo "benchgate: baseline $baseline not found" >&2
     exit 2
 fi
 
-json_min() {
-    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["after"]["fig2a_cold_serial_ms"]["min"])' "$1"
+# json_after FILE KEY prints after.KEY (or KEY.min when KEY is an object
+# with a "min"), or the empty string when the key is absent.
+json_after() {
+    python3 -c '
+import json, sys
+v = json.load(open(sys.argv[1])).get("after", {}).get(sys.argv[2], "")
+if isinstance(v, dict):
+    v = v.get("min", "")
+print(v)' "$1" "$2"
 }
 
-base_ms=$(json_min "$baseline")
+base_ms=$(json_after "$baseline" fig2a_cold_serial_ms)
+if [ -z "$base_ms" ]; then
+    echo "benchgate: baseline $baseline has no after.fig2a_cold_serial_ms" >&2
+    exit 2
+fi
+base_tail_ms=$(json_after "$baseline" tail_tiny_cold_serial_ms)
 
 fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
 echo "benchgate: re-measuring against $baseline (baseline ${base_ms}ms, margin ${threshold}%)..." >&2
 scripts/bench.sh "$fresh" >&2
-new_ms=$(json_min "$fresh")
+new_ms=$(json_after "$fresh" fig2a_cold_serial_ms)
+
+fail=0
 
 limit=$((base_ms * (100 + threshold) / 100))
 echo "benchgate: cold serial fig2a ${new_ms}ms vs baseline ${base_ms}ms (limit ${limit}ms)" >&2
 if [ "$new_ms" -gt "$limit" ]; then
-    echo "benchgate: FAIL — regression beyond ${threshold}% budget" >&2
+    echo "benchgate: FAIL — fig2a regression beyond ${threshold}% budget" >&2
+    fail=1
+fi
+
+if [ -n "$base_tail_ms" ]; then
+    new_tail_ms=$(json_after "$fresh" tail_tiny_cold_serial_ms)
+    tail_limit=$((base_tail_ms * (100 + tail_threshold) / 100))
+    echo "benchgate: tail tiny ${new_tail_ms}ms vs baseline ${base_tail_ms}ms (limit ${tail_limit}ms)" >&2
+    if [ "$new_tail_ms" -gt "$tail_limit" ]; then
+        echo "benchgate: FAIL — tail regression beyond ${tail_threshold}% budget" >&2
+        fail=1
+    fi
+else
+    echo "benchgate: baseline has no tail_tiny_cold_serial_ms; skipping tail gate" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "benchgate: OK" >&2
