@@ -54,7 +54,7 @@ func saveRestore(iters int) {
 	h := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Call() }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Call() }); !ok {
 				h.Add(c)
 			}
 		}
@@ -67,7 +67,7 @@ func divide(iters int) {
 	h := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Div() }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Div() }); !ok {
 				h.Add(c)
 			}
 		}
@@ -81,7 +81,7 @@ func traps(iters int) {
 	taken := 0
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			ok, c := rock.Try(s, func(t *rock.Txn) { t.Trap(i%2 == 0) })
+			ok, c := rock.Try(s, func(t rock.Txn) { t.Trap(i%2 == 0) })
 			if !ok {
 				h.Add(c)
 			} else {
@@ -99,7 +99,7 @@ func loadUnmapped(iters int) {
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
 			m.Mem().Remap(a, sim.PageWords)
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Load(a) }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Load(a) }); !ok {
 				h.Add(c)
 			}
 		}
@@ -116,12 +116,12 @@ func storeUnmapped(iters int) {
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
 			m.Mem().Remap(a, sim.PageWords)
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Store(a, 1) }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Store(a, 1) }); !ok {
 				h.Add(c)
 			}
 			// Retry after the dummy-CAS TLB warmup.
 			rock.WarmTLB(s, a, 1)
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Store(a, 1) }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Store(a, 1) }); !ok {
 				warmed.Add(c)
 			} else {
 				committedAfterWarm++
@@ -147,11 +147,11 @@ func itlbMiss(iters int) {
 		for i := 0; i < iters; i++ {
 			m.Mem().Remap(code, sim.PageWords)
 			s.CAS(code, 0, 0) // data mapping back, but the ITLB stays cold
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Exec(page) }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Exec(page) }); !ok {
 				h.Add(c)
 			}
 			s.Exec(page) // warm the ITLB outside the transaction
-			if ok, _ := rock.Try(s, func(t *rock.Txn) { t.Exec(page) }); ok {
+			if ok, _ := rock.Try(s, func(t rock.Txn) { t.Exec(page) }); ok {
 				warmCommits++
 			}
 		}
@@ -173,7 +173,7 @@ func exogenous(iters int) {
 	h := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			if ok, c := rock.Try(s, func(t *rock.Txn) { t.Div() }); !ok {
+			if ok, c := rock.Try(s, func(t rock.Txn) { t.Div() }); !ok {
 				h.Add(c)
 			}
 		}
@@ -189,7 +189,7 @@ func eviction(iters int) {
 	h := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			if ok, c := rock.Try(s, func(t *rock.Txn) {
+			if ok, c := rock.Try(s, func(t rock.Txn) {
 				for j := 0; j < lines; j++ {
 					t.Load(a + sim.Addr(j*sim.WordsPerLine))
 				}
@@ -209,7 +209,7 @@ func cacheSet(iters int) {
 	h := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
 		for i := 0; i < iters; i++ {
-			if ok, c := rock.Try(s, func(t *rock.Txn) {
+			if ok, c := rock.Try(s, func(t rock.Txn) {
 				for j := 0; j < 5; j++ {
 					t.Load(a + sim.Addr(j*stride))
 				}
@@ -227,7 +227,7 @@ func overflow(iters int) {
 	cold := cps.NewHistogram()
 	warm := cps.NewHistogram()
 	m.Run(func(s *sim.Strand) {
-		body := func(t *rock.Txn) {
+		body := func(t rock.Txn) {
 			for j := 0; j < 33; j++ {
 				t.Store(a+sim.Addr(j*sim.WordsPerLine), 1)
 			}
@@ -255,7 +255,7 @@ func coherence(iters int) {
 		commits := 0
 		m.Run(func(s *sim.Strand) {
 			for i := 0; i < iters; i++ {
-				ok, c := rock.Try(s, func(t *rock.Txn) {
+				ok, c := rock.Try(s, func(t rock.Txn) {
 					for j := 0; j < 16; j++ {
 						t.Store(a+sim.Addr(j*sim.WordsPerLine), sim.Word(s.ID()))
 					}
@@ -295,7 +295,7 @@ func idleLoopCOH() {
 	m.Run(func(s *sim.Strand) {
 		if s.ID() == 0 {
 			for i := 0; i < 1200; i++ {
-				if ok, c := rock.Try(s, func(t *rock.Txn) {
+				if ok, c := rock.Try(s, func(t rock.Txn) {
 					for j := 0; j < 3; j++ {
 						t.Load(a + sim.Addr(j*stride))
 					}

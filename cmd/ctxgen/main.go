@@ -1,0 +1,40 @@
+// Command ctxgen regenerates the devirtualized core.Ctx kernel copies
+// (specialized_gen.go) in the kernel packages. Run it from anywhere inside
+// the repository after editing a generic kernel:
+//
+//	go run rocktm/cmd/ctxgen
+//
+// The sync tests in the kernel packages fail until the committed files
+// match what the generator produces, so drift cannot land silently. See
+// internal/ctxgen for the generation rules and docs/PERFORMANCE.md for why
+// the copies exist.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rocktm/internal/ctxgen"
+)
+
+func main() {
+	root, err := ctxgen.Root(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, spec := range ctxgen.Specs() {
+		out, err := ctxgen.Generate(root, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctxgen: %s: %v\n", spec.Dir, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(root, spec.Dir, spec.Out)
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

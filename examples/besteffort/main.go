@@ -38,7 +38,7 @@ func main() {
 		}
 		transfers := 0
 		for transfers < 1000 {
-			committed, cps := rocktm.TryHTM(s, func(t *rocktm.Txn) {
+			committed, cps := rocktm.TryHTM(s, func(t rocktm.Txn) {
 				va := t.Load(a)
 				vb := t.Load(b)
 				t.Store(a, va-1)

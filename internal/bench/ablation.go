@@ -94,6 +94,7 @@ func AblationUCTIWeight(o Options) (*Figure, error) {
 					map[string]string{"weight": fmt.Sprintf("%g", w), "keyrange": itoa(keyRange)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<22, o.Seed)
+					defer m.Recycle()
 					pol := tle.DefaultPolicy()
 					pol.UCTIWeight = w
 					vm := jvm.New(m, pol)
@@ -155,6 +156,7 @@ func AblationThrottle(o Options) (*Figure, error) {
 					map[string]string{"mix": mix.String(), "keyrange": itoa(keyRange)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<22, o.Seed)
+					defer m.Recycle()
 					vm := jvm.New(m, tle.DefaultPolicy())
 					if throttled {
 						vm.SetThrottle(tle.NewThrottle(m))

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// fig2aCellAllocBudget is the allocation budget for one BenchmarkFig2aCell
+// iteration. The PR 8 hot-path round brought the cell from 7,616 allocs/op
+// down to ~1,360 (the Memory backing pool recycles the words/lineMeta
+// arrays, the dominant term; what remains is per-strand construction —
+// caches, TLBs, coroutines — plus workload compilation and JSON digests).
+// The budget pins that result with ~10% headroom: a change that quietly
+// reintroduces per-operation or per-attempt allocation on the cell path
+// fails here long before it is visible in wall-clock.
+const fig2aCellAllocBudget = 1500
+
+// TestFig2aCellAllocBudget runs the cell benchmark through the testing
+// harness and fails if allocs/op regresses above the budget. It complements
+// the strict alloc-free pins on the obs recorders (internal/obs): the cell
+// necessarily allocates — it builds whole machines — so it gets a budget
+// rather than a zero.
+func TestFig2aCellAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs full benchmark iterations")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := Options{Threads: []int{4}, OpsPerThread: 300, Seed: 1}
+			if _, err := Fig2a(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if allocs := res.AllocsPerOp(); allocs > fig2aCellAllocBudget {
+		t.Errorf("fig2a cell allocates %d allocs/op, budget is %d — a hot-path allocation crept back in",
+			allocs, fig2aCellAllocBudget)
+	}
+}

@@ -96,6 +96,7 @@ func AttributionReport(o Options) (*AttribReport, error) {
 				Spec: spec,
 				Compute: func() (attribCell, error) {
 					m := machineFor(th, cfg.memWords, o.Seed)
+					defer m.Recycle()
 					st := cfg.build(m, cfg.keyRange)
 					sys := sb.Build(m)
 					reg := obs.NewRegistry()

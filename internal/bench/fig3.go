@@ -63,6 +63,7 @@ func Fig3a(o Options) (*Figure, error) {
 					map[string]string{"initsize": itoa(initSize), "ctrrange": itoa(ctrRange), "retries": itoa(retries)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<20, o.Seed)
+					defer m.Recycle()
 					v := vector.New(m, initSize+ctrRange+64, initSize)
 					sys := sb.Build(m)
 					lat := o.latRecorder()
@@ -153,6 +154,7 @@ func Fig3b(o Options) (*Figure, error) {
 
 func runJavaTable(o Options, threads int, mix javaMix, elide bool, keyRange int) (Point, *core.Stats) {
 	m := machineFor(threads, 1<<22, o.Seed)
+	defer m.Recycle()
 	vm := jvm.New(m, tle.DefaultPolicy())
 	vm.Elide = elide
 	ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+2*threads+64)
@@ -211,6 +213,7 @@ func DivideHashDemo(o Options) (*Figure, error) {
 					map[string]string{"keyrange": itoa(keyRange)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<22, o.Seed)
+					defer m.Recycle()
 					vm := jvm.New(m, tle.DefaultPolicy())
 					ht := jcl.NewHashtable(m, vm, 1<<13, keyRange+64)
 					ht.DivideHash = divide
@@ -264,6 +267,7 @@ func InlineDemo(o Options) (*Figure, error) {
 					map[string]string{"mix": mix.String(), "keyrange": itoa(keyRange)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<22, o.Seed)
+					defer m.Recycle()
 					vm := jvm.New(m, tle.DefaultPolicy())
 					hm := jcl.NewHashMap(m, vm, 1<<13, keyRange+2*th+64)
 					if outline {
@@ -349,6 +353,7 @@ func TreeMapDemo(o Options) (*Figure, error) {
 						map[string]string{"keys": itoa(sc.keys), "write": itoa(sc.pctWrite)}),
 					Compute: func() (Point, error) {
 						m := machineFor(th, 1<<22, o.Seed)
+						defer m.Recycle()
 						vm := jvm.New(m, tle.DefaultPolicy())
 						vm.Elide = elide
 						tm := jcl.NewTreeMap(m, vm, sc.keys+2*th+64)

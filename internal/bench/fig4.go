@@ -129,6 +129,7 @@ func RunMSF(o MSFOptions, v msfVariant, threads int) (float64, string, error) {
 	cfg.Mode = o.Mode
 	cfg.MaxCycles = 1 << 48
 	m := sim.New(cfg)
+	defer m.Recycle()
 	g := graphgen.Build(m, n, edges)
 	sys := v.build(m)
 	r := msf.NewRunner(m, g, sys, v.variant)

@@ -113,6 +113,7 @@ func runFleet(o Options, scenario fleetScenario, sb SysBuilder, shards, crossPct
 	if err != nil {
 		return fleetPoint{}, err
 	}
+	defer f.Recycle()
 	res, err := f.Run(service.LoadSpec{
 		Requests:  o.OpsPerThread * shards,
 		PctLookup: 50,

@@ -81,6 +81,7 @@ func runKV(o Options, label string, cfg kvConfig, sb SysBuilder, threads int) (P
 // bit-identical with capture on or off (pinned by timeline_test.go).
 func runKVSeries(o Options, label string, cfg kvConfig, sb SysBuilder, threads int, capture bool, width int64) (Point, timeseries.Series, error) {
 	m := machineFor(threads, cfg.memWords, o.Seed)
+	defer m.Recycle()
 	st := cfg.build(m, cfg.keyRange)
 	sys := sb.Build(m)
 	wl := workload.MustCompile(cfg.spec())

@@ -41,6 +41,7 @@ func policyMachineCfg(threads, memWords int, seed uint64, faults sim.FaultPlan) 
 func runPolicyCell(o Options, polName, profile string, threads int) (Point, error) {
 	cfg := policyMachineCfg(threads, policyMemWords, o.Seed, sim.FaultProfile(profile))
 	m := sim.New(cfg)
+	defer m.Recycle()
 	st := rbtreeKV(m, policyKeyRange)
 	pcfg := phtm.DefaultConfig()
 	sys := phtm.New(m, sky.New(m), pcfg)

@@ -52,6 +52,7 @@ func CounterFigure(o Options) (*Figure, error) {
 				Spec: o.spec("counter", method.Name(), th, counterCfg(th, o.Seed), nil),
 				Compute: func() (Point, error) {
 					m := sim.New(counterCfg(th, o.Seed))
+					defer m.Recycle()
 					ctr := counter.New(m)
 					lat := o.latRecorder()
 					tr := o.startTrace(m)
@@ -151,6 +152,7 @@ func DCASFigure(o Options) (*Figure, error) {
 					map[string]string{"keyrange": itoa(keyRange)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<23, o.Seed)
+					defer m.Recycle()
 					set := b.build(m)
 					lat := o.latRecorder()
 					rec := o.startWindows(m)
@@ -200,6 +202,7 @@ func DCASFigure(o Options) (*Figure, error) {
 				Spec: o.spec("dcas", b.name, th, machineCfg(th, 1<<23, o.Seed), nil),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<23, o.Seed)
+					defer m.Recycle()
 					q := b.build(m)
 					lat := o.latRecorder()
 					rec := o.startWindows(m)
@@ -279,6 +282,7 @@ func VolanoFigure(o Options) (*Figure, error) {
 					map[string]string{"rooms": itoa(rooms)}),
 				Compute: func() (Point, error) {
 					m := machineFor(th, 1<<21, o.Seed)
+					defer m.Recycle()
 					vm := jvm.New(m, tle.DefaultPolicy())
 					vm.EmitTLE = cc.emit
 					vm.Elide = cc.elide

@@ -74,7 +74,7 @@ func (c *Counter) Inc(s *sim.Strand, m Method) {
 		c.stats.HWBlocks++
 		for attempt := 0; ; attempt++ {
 			c.stats.HWAttempts++
-			ok, st := rock.Try(s, func(t *rock.Txn) {
+			ok, st := rock.Try(s, func(t rock.Txn) {
 				t.Store(c.addr, t.Load(c.addr)+1)
 			})
 			if ok {

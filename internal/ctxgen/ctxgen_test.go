@@ -1,0 +1,49 @@
+package ctxgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGeneratedInSync regenerates every specialized kernel file and fails
+// if the committed copy drifted from what the generic kernels produce. On
+// failure, run `go run rocktm/cmd/ctxgen` and commit the result.
+func TestGeneratedInSync(t *testing.T) {
+	root, err := Root(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range Specs() {
+		want, err := Generate(root, spec)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", spec.Dir, err)
+		}
+		path := filepath.Join(root, spec.Dir, spec.Out)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Dir, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s/%s is stale with respect to %s; run `go run rocktm/cmd/ctxgen` and commit the result",
+				spec.Dir, spec.Out, spec.Src)
+		}
+	}
+}
+
+// TestMangle pins the naming scheme the dispatchers rely on.
+func TestMangle(t *testing.T) {
+	cases := map[[2]string]string{
+		{"Lookup", "Rock"}:     "lookupRock",
+		{"insert", "TL2"}:      "insertTL2",
+		{"isRed", "SkyHW"}:     "isRedSkyHW",
+		{"deleteFixup", "Raw"}: "deleteFixupRaw",
+		{"rotateLeft", "Sky"}:  "rotateLeftSky",
+	}
+	for in, want := range cases {
+		if got := mangle(in[0], in[1]); got != want {
+			t.Errorf("mangle(%q, %q) = %q, want %q", in[0], in[1], got, want)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func (d *DCAS) Do(s *sim.Strand, a1 sim.Addr, o1, n1 sim.Word, a2 sim.Addr, o2, 
 	for attempt := 0; attempt < d.MaxAttempts; attempt++ {
 		d.stats.HWAttempts++
 		swapped := false
-		ok, c := rock.Try(s, func(t *rock.Txn) {
+		ok, c := rock.Try(s, func(t rock.Txn) {
 			if t.Load(lockAddr) != 0 {
 				t.Abort()
 			}

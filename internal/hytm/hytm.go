@@ -106,7 +106,7 @@ func (h *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 	st.HWBlocks++
 	// Bind the hardware attempt once per block, not once per retry, so the
 	// failure loop allocates nothing.
-	hwBody := func(tx *rock.Txn) {
+	hwBody := func(tx rock.Txn) {
 		body(h.back.HWCtx(tx))
 	}
 	eng := policy.Start(h.pol, 0)

@@ -124,7 +124,7 @@ func (p *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 		st.HWBlocks++
 		// Bind the hardware attempt once per block, not once per retry, so
 		// the failure loop allocates nothing.
-		hwBody := func(tx *rock.Txn) {
+		hwBody := func(tx rock.Txn) {
 			if tx.Load(p.swCount) != 0 {
 				tx.Abort() // software stragglers still draining
 			}

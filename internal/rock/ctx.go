@@ -6,9 +6,12 @@ import (
 )
 
 // Ctx adapts a hardware transaction to the core.Ctx access interface, so
-// data-structure code written once runs unchanged inside HTM.
+// data-structure code written once runs unchanged inside HTM. It is
+// pointer-shaped (a single strand pointer under the Txn wrapper), so
+// converting it to core.Ctx stores the pointer directly in the interface —
+// no per-conversion heap allocation.
 type Ctx struct {
-	T *Txn
+	T Txn
 }
 
 var _ core.Ctx = Ctx{}

@@ -23,15 +23,24 @@ type txFailed struct{}
 // instructions. Its methods never return on failure: they unwind to the
 // enclosing Try, exactly as control resumes at the chkpt fail address on
 // the hardware.
+//
+// Txn is a one-word value (the strand pointer) passed by value: taking its
+// address inside Try used to escape one Txn to the heap per hardware
+// attempt, which dominated the allocation profile of the retry loops.
 type Txn struct {
 	s *sim.Strand
 }
 
+// On builds the attempt handle for strand s. It exists so callers that
+// cache per-strand hardware contexts (sky.System.HWCtx) can construct the
+// value once instead of threading it out of Try.
+func On(s *sim.Strand) Txn { return Txn{s: s} }
+
 // Strand returns the underlying strand (for cost accounting helpers).
-func (t *Txn) Strand() *sim.Strand { return t.s }
+func (t Txn) Strand() *sim.Strand { return t.s }
 
 // Load performs a transactional load.
-func (t *Txn) Load(a sim.Addr) sim.Word {
+func (t Txn) Load(a sim.Addr) sim.Word {
 	w, ok := t.s.TxLoad(a)
 	if !ok {
 		panic(txFailed{})
@@ -40,7 +49,7 @@ func (t *Txn) Load(a sim.Addr) sim.Word {
 }
 
 // Store performs a transactional store (gated until commit).
-func (t *Txn) Store(a sim.Addr, w sim.Word) {
+func (t Txn) Store(a sim.Addr, w sim.Word) {
 	if !t.s.TxStore(a, w) {
 		panic(txFailed{})
 	}
@@ -50,7 +59,7 @@ func (t *Txn) Store(a sim.Addr, w sim.Word) {
 // predicates computed from the immediately preceding load (tree walks, list
 // traversals), which on Rock can execute before the load resolves and abort
 // with UCTI.
-func (t *Txn) Branch(pc uint32, taken bool, dependsOnLoad bool) {
+func (t Txn) Branch(pc uint32, taken bool, dependsOnLoad bool) {
 	if !t.s.TxBranch(pc, taken, dependsOnLoad) {
 		panic(txFailed{})
 	}
@@ -58,51 +67,50 @@ func (t *Txn) Branch(pc uint32, taken bool, dependsOnLoad bool) {
 
 // Abort executes the conventional always-taken trap
 // (ta %xcc, %g0 + 15), explicitly aborting with CPS=TCC.
-func (t *Txn) Abort() {
+func (t Txn) Abort() {
 	t.s.TxAbortTrap()
 	panic(txFailed{})
 }
 
 // Call models a function call (register-window save/restore), which aborts
 // Rock transactions with CPS=INST.
-func (t *Txn) Call() {
+func (t Txn) Call() {
 	t.s.TxSaveRestore()
 	panic(txFailed{})
 }
 
 // Div models a divide instruction (unsupported; CPS=FP).
-func (t *Txn) Div() {
+func (t Txn) Div() {
 	t.s.TxDiv()
 	panic(txFailed{})
 }
 
 // Trap models a conditional trap; if taken the transaction aborts (TCC).
-func (t *Txn) Trap(taken bool) {
+func (t Txn) Trap(taken bool) {
 	if !t.s.TxTrap(taken) {
 		panic(txFailed{})
 	}
 }
 
 // Exec models executing code from the given page (ITLB misses abort).
-func (t *Txn) Exec(codePage int32) {
+func (t Txn) Exec(codePage int32) {
 	if !t.s.TxExec(codePage) {
 		panic(txFailed{})
 	}
 }
 
 // StackWrite models a store to the stack (profiled, not store-queued).
-func (t *Txn) StackWrite() { t.s.TxStackWrite() }
+func (t Txn) StackWrite() { t.s.TxStackWrite() }
 
 // Advance charges pure compute cycles inside the transaction.
-func (t *Txn) Advance(n int64) { t.s.Advance(n) }
+func (t Txn) Advance(n int64) { t.s.Advance(n) }
 
 // Try executes body as one hardware transaction attempt on strand s.
 // It returns (true, 0) if the transaction committed, and (false, cps) with
 // the CPS register contents if it aborted for any reason.
-func Try(s *sim.Strand, body func(*Txn)) (committed bool, status cps.Bits) {
+func Try(s *sim.Strand, body func(Txn)) (committed bool, status cps.Bits) {
 	s.TxBegin()
-	t := Txn{s: s}
-	if runBody(&t, body) {
+	if runBody(Txn{s: s}, body) {
 		return false, s.CPS()
 	}
 	if !s.TxCommit() {
@@ -115,7 +123,7 @@ func Try(s *sim.Strand, body func(*Txn)) (committed bool, status cps.Bits) {
 // into a boolean. It is a top-level function with a named return so the
 // single open-coded defer and its closure stay off the heap (the previous
 // inline func literal allocated a closure pair per attempt).
-func runBody(t *Txn, body func(*Txn)) (failed bool) {
+func runBody(t Txn, body func(Txn)) (failed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(txFailed); !ok {

@@ -19,13 +19,13 @@ func TestTryCommitsAndAborts(t *testing.T) {
 	a := m.Mem().AllocLines(8)
 	m.Run(func(s *sim.Strand) {
 		s.Store(a, 1)
-		ok, c := Try(s, func(tx *Txn) {
+		ok, c := Try(s, func(tx Txn) {
 			tx.Store(a, tx.Load(a)+1)
 		})
 		if !ok || c != 0 {
 			t.Fatalf("simple txn failed: %v", c)
 		}
-		ok, c = Try(s, func(tx *Txn) {
+		ok, c = Try(s, func(tx Txn) {
 			tx.Store(a, 99)
 			tx.Abort()
 		})
@@ -42,7 +42,7 @@ func TestUnwindingStopsAtTry(t *testing.T) {
 	m := newMachine()
 	m.Run(func(s *sim.Strand) {
 		reached := false
-		ok, c := Try(s, func(tx *Txn) {
+		ok, c := Try(s, func(tx Txn) {
 			tx.Call() // INST abort: unwinds here
 			reached = true
 		})
@@ -63,7 +63,7 @@ func TestForeignPanicsPropagate(t *testing.T) {
 				t.Error("foreign panic was swallowed by Try")
 			}
 		}()
-		Try(s, func(tx *Txn) {
+		Try(s, func(tx Txn) {
 			panic("user bug")
 		})
 	})
@@ -74,7 +74,7 @@ func TestWarmTLBMakesStoresCommit(t *testing.T) {
 	a := m.Mem().Alloc(sim.PageWords*3, sim.PageWords)
 	m.Run(func(s *sim.Strand) {
 		m.Mem().Remap(a, sim.PageWords*3)
-		ok, c := Try(s, func(tx *Txn) { tx.Store(a+sim.PageWords, 5) })
+		ok, c := Try(s, func(tx Txn) { tx.Store(a+sim.PageWords, 5) })
 		if ok {
 			t.Fatal("store to unmapped page committed")
 		}
@@ -82,7 +82,7 @@ func TestWarmTLBMakesStoresCommit(t *testing.T) {
 			t.Fatalf("CPS = %v, want ST", c)
 		}
 		WarmTLB(s, a, sim.PageWords*3)
-		ok, c = Try(s, func(tx *Txn) { tx.Store(a+sim.PageWords, 5) })
+		ok, c = Try(s, func(tx Txn) { tx.Store(a+sim.PageWords, 5) })
 		if !ok {
 			t.Fatalf("post-warmup store failed: %v", c)
 		}
@@ -99,7 +99,7 @@ func TestCtxAdapterRoutesEverything(t *testing.T) {
 	m.Run(func(s *sim.Strand) {
 		s.Store(a, 3)
 		// A transaction exercising every Ctx operation that can commit.
-		ok, c := Try(s, func(tx *Txn) {
+		ok, c := Try(s, func(tx Txn) {
 			cx := Ctx{T: tx}
 			if cx.Strand() != s {
 				t.Error("Strand() mismatch")
@@ -112,13 +112,13 @@ func TestCtxAdapterRoutesEverything(t *testing.T) {
 			t.Fatalf("ctx txn failed: %v", c)
 		}
 		// Each aborting instruction through the adapter.
-		if ok, c := Try(s, func(tx *Txn) { Ctx{T: tx}.Div() }); ok || c != cps.FP {
+		if ok, c := Try(s, func(tx Txn) { Ctx{T: tx}.Div() }); ok || c != cps.FP {
 			t.Errorf("Div: (%v,%v)", ok, c)
 		}
-		if ok, c := Try(s, func(tx *Txn) { Ctx{T: tx}.Call() }); ok || c != cps.INST {
+		if ok, c := Try(s, func(tx Txn) { Ctx{T: tx}.Call() }); ok || c != cps.INST {
 			t.Errorf("Call: (%v,%v)", ok, c)
 		}
-		if ok, c := Try(s, func(tx *Txn) { tx.Trap(true) }); ok || c != cps.TCC {
+		if ok, c := Try(s, func(tx Txn) { tx.Trap(true) }); ok || c != cps.TCC {
 			t.Errorf("Trap: (%v,%v)", ok, c)
 		}
 	})
@@ -134,11 +134,11 @@ func TestTxnExecITLB(t *testing.T) {
 	m.Run(func(s *sim.Strand) {
 		m.Mem().Remap(code, sim.PageWords)
 		s.CAS(code, 0, 0)
-		if ok, c := Try(s, func(tx *Txn) { tx.Exec(page) }); ok || c != cps.PREC {
+		if ok, c := Try(s, func(tx Txn) { tx.Exec(page) }); ok || c != cps.PREC {
 			t.Fatalf("cold ITLB exec = (%v,%v), want (false,PREC)", ok, c)
 		}
 		s.Exec(page)
-		if ok, c := Try(s, func(tx *Txn) { tx.Exec(page) }); !ok {
+		if ok, c := Try(s, func(tx Txn) { tx.Exec(page) }); !ok {
 			t.Fatalf("warm ITLB exec failed: %v", c)
 		}
 	})
@@ -147,7 +147,7 @@ func TestTxnExecITLB(t *testing.T) {
 func TestStackWriteAndAdvanceInsideTxn(t *testing.T) {
 	m := newMachine()
 	m.Run(func(s *sim.Strand) {
-		ok, _ := Try(s, func(tx *Txn) {
+		ok, _ := Try(s, func(tx Txn) {
 			tx.StackWrite()
 			tx.Advance(25)
 		})

@@ -252,6 +252,15 @@ func New(cfg Config) (*Fleet, error) {
 // Shards returns the fleet's shard count.
 func (f *Fleet) Shards() int { return len(f.shards) }
 
+// Recycle donates every shard machine's simulated-memory backing to the
+// process-wide pool (see sim.Machine.Recycle). Call only after the fleet's
+// last use; the shards' simulated memory must not be touched afterwards.
+func (f *Fleet) Recycle() {
+	for _, sh := range f.shards {
+		sh.m.Recycle()
+	}
+}
+
 // Router returns the fleet's shard map.
 func (f *Fleet) Router() ShardMap { return f.router }
 

@@ -188,6 +188,64 @@ func BenchmarkTxAbort(b *testing.B) {
 	})
 }
 
+// BenchmarkTxLoadSameLineRun measures a run of transactional loads that
+// stay within one cache line: after the first full-path load validates
+// the line, every subsequent load takes the per-strand last-line fast
+// path (tag check + LRU refresh + hit latency), skipping translation,
+// coherence-directory probes and store-queue checks entirely. This is
+// the batched-coherence case the data-structure kernels hit on every
+// multi-word node visit.
+func BenchmarkTxLoadSameLineRun(b *testing.B) {
+	m := benchMachine1()
+	a := m.Mem().AllocLines(WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		s.Load(a) // warm translation + L1
+		i := 0
+		for i < b.N {
+			s.TxBegin()
+			ok := true
+			for k := 0; ok && k < 4096 && i < b.N; k++ {
+				_, ok = s.TxLoad(a + Addr(i%WordsPerLine))
+				i++
+			}
+			if ok {
+				s.TxCommit()
+			}
+		}
+	})
+}
+
+// BenchmarkTxLoadLineCrossingRun is the control for SameLineRun: each
+// load targets a different line, so every access pays the full path —
+// translation probe, L1 tag walk, coherence-directory read and mark.
+// The ratio of the two is the isolated win of the same-line batching.
+func BenchmarkTxLoadLineCrossingRun(b *testing.B) {
+	m := benchMachine1()
+	const lines = 8
+	a := m.Mem().AllocLines(lines * WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(func(s *Strand) {
+		for i := 0; i < lines; i++ { // warm translation + L1
+			s.Load(a + Addr(i*WordsPerLine))
+		}
+		i := 0
+		for i < b.N {
+			s.TxBegin()
+			ok := true
+			for k := 0; ok && k < 4096 && i < b.N; k++ {
+				_, ok = s.TxLoad(a + Addr((i%lines)*WordsPerLine))
+				i++
+			}
+			if ok {
+				s.TxCommit()
+			}
+		}
+	})
+}
+
 // BenchmarkTxLoadForwarding fills the store queue with stores to
 // distinct lines, then loads each stored address back: every load must
 // forward from the store queue. The linear-scan queue pays O(entries)

@@ -189,6 +189,15 @@ type Machine struct {
 	sqPerBank int
 	defQueue  int
 
+	// Load-conflict doom broadcast, one bit per strand. activeMask mirrors
+	// each strand's tx.active flag (set at TxBegin, cleared at commit and
+	// abort), so loadConflict can doom every conflicting writer with a
+	// single mask operation: cohDoom |= written & activeMask &^ self.
+	// Victims fold their bit into the CPS reasons (as COH) at their next
+	// checkDoom delivery point, exactly as per-strand dooming did.
+	cohDoom    uint64
+	activeMask uint64
+
 	// Scheduler state; only Run's driver goroutine touches it.
 	//
 	// parked is a binary min-heap of parked, not-done strands keyed
@@ -291,6 +300,15 @@ func (m *Machine) Config() Config { return m.cfg }
 // Mem returns the simulated memory, for setup (Alloc/Poke) and validation
 // (Peek) outside timed runs.
 func (m *Machine) Mem() *Memory { return m.mem }
+
+// Recycle donates the machine's simulated-memory backing arrays to a
+// process-wide pool so the next machine's construction scrubs a prefix
+// instead of allocating and zeroing tens of megabytes from scratch. Call it
+// only after the machine's last use (including Peek-based validation):
+// afterwards the simulated memory reads as zero and must not be written.
+// Recycling is a host-side allocation strategy only — it never changes what
+// a simulation computes.
+func (m *Machine) Recycle() { m.mem.recycle() }
 
 // Strand returns strand i for pre-run configuration (it must not be driven
 // outside Run).

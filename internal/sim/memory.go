@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Word is the unit of simulated storage: a 64-bit value. Pointers within
 // simulated memory are stored as words holding the target Addr; Addr 0 plays
@@ -68,6 +71,22 @@ type Memory struct {
 	next  Addr // bump allocator cursor
 }
 
+// memBacking is a retired Memory's backing store, cached process-wide for
+// the next Machine. dirty is the former len of words (the allocator's
+// high-water mark); everything beyond it was never written and is still
+// pristine zero from the original make, so a new owner only has to scrub
+// the dirty prefix instead of zeroing (and geometrically re-zeroing and
+// copying) a fresh array. Experiment sweeps build hundreds of short-lived
+// machines with near-identical footprints, and this recycling is what keeps
+// their construction cost at one memclr of the touched range.
+type memBacking struct {
+	words []Word
+	lines []lineMeta
+	dirty int
+}
+
+var backingPool sync.Pool
+
 func newMemory(words int) *Memory {
 	if words < PageWords {
 		words = PageWords
@@ -79,8 +98,39 @@ func newMemory(words int) *Memory {
 		pages: make([]pageMeta, words/PageWords),
 		next:  WordsPerLine, // skip line 0 so Addr 0 stays "null"
 	}
+	if b, _ := backingPool.Get().(*memBacking); b != nil && b.dirty <= words {
+		// Scrubbing the dirty prefix costs at most what zeroing this
+		// machine's full configured size would; a backing dirtier than that
+		// (from a much larger experiment) is cheaper to drop than to scrub.
+		clear(b.words[:b.dirty])
+		clear(b.lines[:(b.dirty+WordsPerLine-1)/WordsPerLine])
+		n := cap(b.words)
+		if ln := cap(b.lines) * WordsPerLine; ln < n {
+			n = ln
+		}
+		if n > words {
+			n = words
+		}
+		n &^= PageWords - 1
+		if n >= PageWords {
+			m.words = b.words[:n]
+			m.lines = b.lines[:n/WordsPerLine]
+			return m
+		}
+	}
 	m.ensure(PageWords)
 	return m
+}
+
+// recycle surrenders the backing arrays to the process-wide pool. The Memory
+// must not be written afterwards; reads see zeros (the empty-backing bounds
+// checks treat everything as untouched).
+func (m *Memory) recycle() {
+	if len(m.words) == 0 {
+		return
+	}
+	backingPool.Put(&memBacking{words: m.words, lines: m.lines, dirty: len(m.words)})
+	m.words, m.lines = nil, nil
 }
 
 // ensure grows the word array and coherence directory to cover at least n

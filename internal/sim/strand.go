@@ -86,6 +86,19 @@ type Strand struct {
 
 	nextInterrupt int64
 
+	// Non-transactional same-line fast path: the line validated by the
+	// previous non-transactional access, its L1 slot, and the page
+	// generation observed then. When the next access targets the same line
+	// and the slot tag and generation still match, translation (the page is
+	// provably at the micro-DTLB head, where a hit mutates nothing) and the
+	// L1 tag scan are skipped; the fast path replicates exactly the state
+	// the slow path would produce (LRU tick, age stamp, latency). Any
+	// transactional execution invalidates the cache (TxBegin), because
+	// transactional translations move the micro-DTLB head.
+	ntLine int32
+	ntIdx  int32
+	ntGen  uint32
+
 	tx txnState
 
 	stats Stats
@@ -105,12 +118,13 @@ type Strand struct {
 
 func newStrand(m *Machine, id int) *Strand {
 	s := &Strand{
-		m:   m,
-		id:  id,
-		bit: 1 << uint(id),
-		rng: newRNG(m.cfg.Seed*0x9e3779b9 + uint64(id)*0x85ebca77 + 1),
-		l1:  newL1(m.cfg.L1Sets, m.cfg.L1Ways),
-		bp:  newBranchPredictor(),
+		m:      m,
+		id:     id,
+		bit:    1 << uint(id),
+		rng:    newRNG(m.cfg.Seed*0x9e3779b9 + uint64(id)*0x85ebca77 + 1),
+		l1:     newL1(m.cfg.L1Sets, m.cfg.L1Ways),
+		bp:     newBranchPredictor(),
+		ntLine: -1,
 	}
 	s.mmu.init(m.cfg.MicroDTLB, m.cfg.MainDTLB, m.cfg.ITLB)
 	s.mmu.reserve(m.mem.PageCount())
@@ -284,14 +298,16 @@ func (s *Strand) pageFault(p int32, write bool) {
 
 // fill brings line into the strand's L1 (and the shared L2), charging the
 // appropriate latency and maintaining the coherence directory. It reports
-// whether the access hit in L1 and whether a transactionally marked line
-// was displaced to make room.
-func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool) {
+// whether the access hit in L1, whether a transactionally marked line was
+// displaced to make room, and the slot now holding line — after fill the
+// line is always resident (an L2 back-invalidation triggered by the fill
+// can only target a different line), so callers need no re-lookup.
+func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool, idx int) {
 	// L1-hit fast path: touch inlines here, so the common case is a masked
 	// index, a short tag scan, and one latency charge.
-	if s.l1.touch(line) >= 0 {
+	if i := s.l1.touch(line); i >= 0 {
 		s.clock += s.m.cfg.Costs.L1Hit
-		return true, false
+		return true, false, i
 	}
 	return s.fillMiss(line)
 }
@@ -299,14 +315,15 @@ func (s *Strand) fill(line int32) (l1Hit bool, evictedMarked bool) {
 // fillMiss services the L1 miss half of fill (the touch above already
 // advanced the L1 LRU tick): pick a victim, consult the shared L2, and
 // maintain the coherence directory.
-func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool) {
+func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool, idx int) {
 	c := &s.m.cfg.Costs
-	evicted, evMark, _ := s.l1.fillVictim(line)
+	evicted, evMark, idx := s.l1.fillVictim(line)
 	s.stats.L1Misses++
 	if evicted != -1 {
-		s.m.mem.lines[evicted].present &^= s.bit
-		s.m.mem.lines[evicted].marked &^= s.bit
-		s.m.mem.lines[evicted].written &^= s.bit
+		lm := &s.m.mem.lines[evicted]
+		lm.present &^= s.bit
+		lm.marked &^= s.bit
+		lm.written &^= s.bit
 	}
 	l2hit, l2evicted := s.m.l2.access(line)
 	if l2hit {
@@ -319,7 +336,7 @@ func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool) {
 		s.backInvalidate(l2evicted)
 	}
 	s.m.mem.lines[line].present |= s.bit
-	return false, evMark
+	return false, evMark, idx
 }
 
 // backInvalidate removes a line evicted from the inclusive L2 from every
@@ -346,9 +363,10 @@ func (s *Strand) backInvalidate(line int32) {
 
 // storeInvalidate implements the exclusive-ownership request of a store:
 // every other strand's copy of the line is invalidated, and — requester
-// wins — every transaction holding it marked is doomed with COH.
-func (s *Strand) storeInvalidate(line int32) {
-	lm := &s.m.mem.lines[line]
+// wins — every transaction holding it marked is doomed with COH. The
+// caller passes the line's directory entry, which it invariably has in
+// hand already, so the common no-sharers case is one mask test.
+func (s *Strand) storeInvalidate(line int32, lm *lineMeta) {
 	others := (lm.present | lm.marked) &^ s.bit
 	if others == 0 {
 		return
@@ -366,16 +384,13 @@ func (s *Strand) storeInvalidate(line int32) {
 }
 
 // loadConflict dooms transactions holding line in their *write* set: their
-// buffered store cannot coexist with our read (requester wins).
-func (s *Strand) loadConflict(line int32) {
-	lm := &s.m.mem.lines[line]
-	writers := lm.written &^ s.bit
-	if writers == 0 {
-		return
-	}
-	for rest := writers; rest != 0; rest &= rest - 1 {
-		s.m.strands[bits.TrailingZeros64(rest)].doom(cohBit)
-	}
+// buffered store cannot coexist with our read (requester wins). The doom
+// broadcast is a single mask operation into the machine-wide cohDoom word:
+// masking with activeMask is exactly doom()'s tx.active test, and delivery
+// still happens at the victims' next checkDoom point, which folds the bit
+// into the CPS reasons just as per-strand dooming did.
+func (s *Strand) loadConflict(lm *lineMeta) {
+	s.m.cohDoom |= lm.written & s.m.activeMask &^ s.bit
 }
 
 // doom marks the strand's in-flight transaction (if any) as failed for the
@@ -398,15 +413,48 @@ func (s *Strand) assertNoTxn(op string) {
 
 // ---- Non-transactional memory operations ----
 
+// ntHit reports whether a non-transactional access to line can take the
+// same-line fast path: the previous non-transactional access touched this
+// exact line (so its page is at the micro-DTLB head, where a lookup hit
+// mutates nothing), the L1 slot still holds it (any cross-strand
+// invalidation or back-invalidation clears the tag), and the page
+// generation is unchanged (a Remap would make the head entry stale). When
+// it fires, the caller replicates the slow path's only state changes: the
+// L1 LRU tick, the age stamp, and the hit latency.
+func (s *Strand) ntHit(line int32, p int32) bool {
+	return line == s.ntLine && s.l1.slots[s.ntIdx].tag == line &&
+		s.m.mem.pages[p].gen == s.ntGen
+}
+
+// ntTouch applies the fast path's L1 state changes (what l1.touch does on
+// a hit) and charges the hit latency.
+func (s *Strand) ntTouch() {
+	c := s.l1
+	c.tick++
+	c.slots[s.ntIdx].age = c.tick
+	s.clock += s.m.cfg.Costs.L1Hit
+}
+
 // Load performs an ordinary (non-transactional) load.
 func (s *Strand) Load(a Addr) Word {
 	s.assertNoTxn("Load")
 	s.advance(s.m.cfg.Costs.Op)
 	s.stats.Loads++
-	s.translateLoad(a)
 	line := LineOf(a)
-	s.fill(line)
-	s.loadConflict(line)
+	p := PageOf(a)
+	if s.ntHit(line, p) {
+		s.ntTouch()
+		// An intact tag means no store invalidated this line since the
+		// access that installed it, so every writer bit in the directory
+		// entry predates that access and was doomed by it already; the
+		// loadConflict broadcast below is idempotent on them.
+		s.loadConflict(&s.m.mem.lines[line])
+		return s.m.mem.words[a]
+	}
+	s.translateLoad(a)
+	_, _, idx := s.fill(line)
+	s.loadConflict(&s.m.mem.lines[line])
+	s.ntLine, s.ntIdx, s.ntGen = line, int32(idx), s.m.mem.pages[p].gen
 	return s.m.mem.words[a]
 }
 
@@ -416,10 +464,20 @@ func (s *Strand) Store(a Addr, w Word) {
 	s.assertNoTxn("Store")
 	s.advance(s.m.cfg.Costs.Op)
 	s.stats.Stores++
-	s.translateStore(a)
 	line := LineOf(a)
-	s.fill(line)
-	s.storeInvalidate(line)
+	p := PageOf(a)
+	// The store fast path additionally requires write permission — without
+	// it the slow path's translateStore takes a write fault first.
+	if s.ntHit(line, p) && s.m.mem.pages[p].writable {
+		s.ntTouch()
+		s.storeInvalidate(line, &s.m.mem.lines[line])
+		s.m.mem.words[a] = w
+		return
+	}
+	s.translateStore(a)
+	_, _, idx := s.fill(line)
+	s.storeInvalidate(line, &s.m.mem.lines[line])
+	s.ntLine, s.ntIdx, s.ntGen = line, int32(idx), s.m.mem.pages[p].gen
 	s.m.mem.words[a] = w
 }
 
@@ -432,10 +490,17 @@ func (s *Strand) CAS(a Addr, old, new Word) (Word, bool) {
 	s.assertNoTxn("CAS")
 	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
 	s.stats.CASes++
-	s.translateStore(a)
 	line := LineOf(a)
-	s.fill(line)
-	s.storeInvalidate(line)
+	p := PageOf(a)
+	if s.ntHit(line, p) && s.m.mem.pages[p].writable {
+		s.ntTouch()
+		s.storeInvalidate(line, &s.m.mem.lines[line])
+	} else {
+		s.translateStore(a)
+		_, _, idx := s.fill(line)
+		s.storeInvalidate(line, &s.m.mem.lines[line])
+		s.ntLine, s.ntIdx, s.ntGen = line, int32(idx), s.m.mem.pages[p].gen
+	}
 	cur := s.m.mem.words[a]
 	if cur != old {
 		return cur, false
@@ -450,10 +515,17 @@ func (s *Strand) Add(a Addr, delta Word) Word {
 	s.assertNoTxn("Add")
 	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
 	s.stats.CASes++
-	s.translateStore(a)
 	line := LineOf(a)
-	s.fill(line)
-	s.storeInvalidate(line)
+	p := PageOf(a)
+	if s.ntHit(line, p) && s.m.mem.pages[p].writable {
+		s.ntTouch()
+		s.storeInvalidate(line, &s.m.mem.lines[line])
+	} else {
+		s.translateStore(a)
+		_, _, idx := s.fill(line)
+		s.storeInvalidate(line, &s.m.mem.lines[line])
+		s.ntLine, s.ntIdx, s.ntGen = line, int32(idx), s.m.mem.pages[p].gen
+	}
 	s.m.mem.words[a] += delta
 	return s.m.mem.words[a]
 }
@@ -482,9 +554,12 @@ func (s *Strand) Exec(codePage int32) {
 }
 
 // FlushTLBs drops all of the strand's TLB state (simulating a context
-// switch).
+// switch). The same-line caches are invalidated too: they encode "this
+// page is at the micro-DTLB head", which a flush falsifies.
 func (s *Strand) FlushTLBs() {
 	s.mmu.micro.flush()
 	s.mmu.main.flush()
 	s.mmu.itlb.flush()
+	s.ntLine = -1
+	s.tx.lastLine = -1
 }

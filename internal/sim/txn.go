@@ -47,6 +47,15 @@ type txnState struct {
 	deferred       int
 	lastLoadMissed bool
 
+	// Same-line fast path for TxLoad: the line validated by the previous
+	// full-path TxLoad of this attempt, its L1 slot, and the page
+	// generation observed then. A repeat load of the same line (runs of
+	// field accesses on one node) can skip translation, the fill scan, the
+	// mark and the conflict broadcast — see TxLoad for the invariants.
+	lastLine int32
+	lastIdx  int32
+	lastGen  uint32
+
 	reads, writes int
 	upgrades      int // lines read first, written later
 	stackWrites   int
@@ -71,7 +80,13 @@ func (s *Strand) TxBegin() {
 	t.bankCount[0], t.bankCount[1] = 0, 0
 	t.deferred = 0
 	t.lastLoadMissed = false
+	t.lastLine = -1
+	// Transactional translations move the micro-DTLB head, so the
+	// non-transactional same-line cache cannot survive the transaction.
+	s.ntLine = -1
 	t.reads, t.writes, t.upgrades, t.stackWrites = 0, 0, 0, 0
+	s.m.activeMask |= s.bit
+	s.m.cohDoom &^= s.bit
 	s.stats.TxBegins++
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxBegin, 0)
@@ -102,6 +117,14 @@ func (s *Strand) txAbort(reason uint32) {
 	t := &s.tx
 	reason |= t.doomed
 	t.doomed = 0
+	if s.m.cohDoom&s.bit != 0 {
+		// A load-conflict broadcast (loadConflict's single mask op) doomed
+		// us since the last delivery point; fold it in as COH, exactly as
+		// the per-strand doom call used to.
+		reason |= cohBit
+		s.m.cohDoom &^= s.bit
+	}
+	s.m.activeMask &^= s.bit
 	t.cpsReg = reason
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxAbort, uint64(reason))
@@ -137,24 +160,15 @@ func (s *Strand) TxAbortTrap() {
 	s.txAbort(tccBit)
 }
 
-// checkDoom delivers any pending asynchronous failure. It reports whether
-// the transaction was aborted.
+// checkDoom delivers any pending asynchronous failure — per-strand doom
+// reasons or a bit in the machine-wide load-conflict broadcast mask. It
+// reports whether the transaction was aborted.
 func (s *Strand) checkDoom() bool {
-	if s.tx.doomed != 0 {
+	if s.tx.doomed != 0 || s.m.cohDoom&s.bit != 0 {
 		s.txAbort(0)
 		return true
 	}
 	return false
-}
-
-// markLine records line in the transactional read set.
-func (s *Strand) markLine(line int32, idx int) {
-	lm := &s.m.mem.lines[line]
-	if lm.marked&s.bit == 0 {
-		lm.marked |= s.bit
-		s.tx.marked = append(s.tx.marked, line)
-	}
-	s.l1.mark(idx)
 }
 
 // TxLoad performs a transactional load. It returns ok=false if the load
@@ -172,7 +186,32 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 		return 0, false
 	}
 	t := &s.tx
+	line := LineOf(a)
 	p := PageOf(a)
+
+	// Same-line fast path: a repeat load of the line the previous
+	// full-path TxLoad validated. The intact slot tag proves no store
+	// invalidated or displaced the line since then (a marked line cannot
+	// leave the L1 without dooming or aborting us), so: the page is still
+	// at the micro-DTLB head (a head hit mutates nothing), the line is
+	// still marked (marking again is a no-op), and every writer bit in the
+	// directory entry predates the install and was already doomed by its
+	// conflict broadcast. An empty store queue rules out forwarding, and a
+	// hit cannot change the deferred count or doom anybody, so the only
+	// state the slow path would touch is the L1 LRU tick, the age stamp
+	// and the hit latency — replicated here exactly.
+	if line == t.lastLine && len(t.storeAddrs) == 0 &&
+		s.l1.slots[t.lastIdx].tag == line &&
+		s.m.mem.pages[p].gen == t.lastGen {
+		c := s.l1
+		c.tick++
+		c.slots[t.lastIdx].age = c.tick
+		s.clock += s.m.cfg.Costs.L1Hit
+		t.lastLoadMissed = false
+		t.reads++
+		return s.m.mem.words[a], true
+	}
+
 	pg := &s.m.mem.pages[p]
 	// Translation: a load whose page has no hardware-walkable mapping takes
 	// a precise exception, aborting with LD|PREC (Section 3, "tlb misses").
@@ -204,8 +243,7 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 		}
 	}
 
-	line := LineOf(a)
-	hit, evictedMarked := s.fill(line)
+	hit, evictedMarked, idx := s.fill(line)
 	if evictedMarked {
 		// A transactionally marked line left the L1: the read set can no
 		// longer be tracked (CPS=LD).
@@ -223,18 +261,23 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 			s.txAbort(sizBit)
 			return 0, false
 		}
+		// Only a miss can doom us mid-access (the fill's L2 eviction may
+		// back-invalidate a line we hold marked); on a hit nothing ran
+		// since the checkDoom above.
+		if s.checkDoom() {
+			return 0, false
+		}
 	}
-	if s.checkDoom() { // fill may have collided with an L2 back-invalidate
-		return 0, false
+	// Mark the line and broadcast the load conflict off one directory
+	// deref (fill guarantees idx holds the line — see fill).
+	lm := &s.m.mem.lines[line]
+	if lm.marked&s.bit == 0 {
+		lm.marked |= s.bit
+		t.marked = append(t.marked, line)
 	}
-	idx := s.l1.lookup(line)
-	if idx < 0 {
-		// The line was displaced while servicing the miss; treat as LD.
-		s.txAbort(ldBit)
-		return 0, false
-	}
-	s.markLine(line, idx)
-	s.loadConflict(line)
+	s.l1.mark(idx)
+	s.loadConflict(lm)
+	t.lastLine, t.lastIdx, t.lastGen = line, int32(idx), pg.gen
 	t.lastLoadMissed = !hit
 	t.reads++
 	return s.m.mem.words[a], true
@@ -298,12 +341,14 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	// Stores are gated in the store queue, so a store miss does not defer
 	// dependent instructions the way a load miss does; it only pays the
 	// ownership-request latency.
-	_, evictedMarked := s.fill(line)
+	hit, evictedMarked, idx := s.fill(line)
 	if evictedMarked {
 		s.txAbort(ldBit)
 		return false
 	}
-	if s.checkDoom() {
+	// As in TxLoad, only a miss (whose L2 eviction may back-invalidate a
+	// marked line of ours) can doom us since the entry checkDoom.
+	if !hit && s.checkDoom() {
 		return false
 	}
 
@@ -321,21 +366,22 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 		}
 	}
 
-	idx := s.l1.lookup(line)
-	if idx < 0 {
-		s.txAbort(ldBit)
-		return false
-	}
+	// Mark, record the write and request exclusive ownership off one
+	// directory deref (fill guarantees idx holds the line).
 	lm := &s.m.mem.lines[line]
 	if lm.marked&s.bit != 0 && lm.written&s.bit == 0 {
 		t.upgrades++
 	}
-	s.markLine(line, idx)
+	if lm.marked&s.bit == 0 {
+		lm.marked |= s.bit
+		t.marked = append(t.marked, line)
+	}
+	s.l1.mark(idx)
 	lm.written |= s.bit
 
 	// Requester wins: demand exclusive ownership now, dooming every other
 	// transaction that has this line marked.
-	s.storeInvalidate(line)
+	s.storeInvalidate(line, lm)
 
 	t.storeAddrs = append(t.storeAddrs, a)
 	t.storeVals = append(t.storeVals, w)
@@ -460,7 +506,7 @@ func (s *Strand) TxCommit() bool {
 	drained := len(t.storeAddrs)
 	for i, a := range t.storeAddrs {
 		line := LineOf(a)
-		s.storeInvalidate(line)
+		s.storeInvalidate(line, &s.m.mem.lines[line])
 		s.m.mem.words[a] = t.storeVals[i]
 	}
 	for _, line := range t.marked {
@@ -472,6 +518,7 @@ func (s *Strand) TxCommit() bool {
 	t.storeAddrs = t.storeAddrs[:0]
 	t.storeVals = t.storeVals[:0]
 	t.active = false
+	s.m.activeMask &^= s.bit
 	t.cpsReg = 0
 	s.stats.TxCommits++
 	if s.trc != nil {

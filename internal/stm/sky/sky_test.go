@@ -80,7 +80,7 @@ func TestHWCtxConflictsWithSoftwareWriter(t *testing.T) {
 		} else {
 			s.Advance(1000)
 			hwRan = true
-			hwOK, _ = rock.Try(s, func(tx *rock.Txn) {
+			hwOK, _ = rock.Try(s, func(tx rock.Txn) {
 				h := sys.HWCtx(tx)
 				h.Store(a, 7)
 				tx.Advance(5000) // overlap the software commit

@@ -80,7 +80,7 @@ type STM interface {
 // *readers*, which requires (semi-)visible reader metadata.
 type HybridSTM interface {
 	STM
-	HWCtx(t *rock.Txn) core.Ctx
+	HWCtx(t rock.Txn) core.Ctx
 }
 
 // retrySignal unwinds an aborted software transaction attempt.

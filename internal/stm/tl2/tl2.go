@@ -28,7 +28,7 @@ type System struct {
 	orecs stm.OrecTable
 	clock sim.Addr
 	stats *core.Stats
-	byID  []*txn
+	byID  []*Txn
 }
 
 // New builds a TL2 system for machine m with the default orec-table size.
@@ -41,7 +41,7 @@ func NewSized(m *sim.Machine, n int) *System {
 		orecs: stm.NewOrecTable(m.Mem(), n),
 		clock: m.Mem().AllocLines(sim.WordsPerLine),
 		stats: core.NewStats(),
-		byID:  make([]*txn, m.Config().Strands),
+		byID:  make([]*Txn, m.Config().Strands),
 	}
 	return sys
 }
@@ -55,8 +55,8 @@ func (y *System) SetName(n string) { y.name = n }
 // Stats implements core.System.
 func (y *System) Stats() *core.Stats { return y.stats }
 
-// txn is the per-strand transaction descriptor.
-type txn struct {
+// Txn is the per-strand transaction descriptor.
+type Txn struct {
 	sys *System
 	s   *sim.Strand
 	rv  sim.Word
@@ -69,10 +69,10 @@ type txn struct {
 	lockPrev  []sim.Word
 }
 
-func (y *System) ctxFor(s *sim.Strand) *txn {
+func (y *System) ctxFor(s *sim.Strand) *Txn {
 	c := y.byID[s.ID()]
 	if c == nil {
-		c = &txn{sys: y, s: s}
+		c = &Txn{sys: y, s: s}
 		y.byID[s.ID()] = c
 	}
 	return c
@@ -101,7 +101,7 @@ func (y *System) Atomic(s *sim.Strand, body func(core.Ctx)) {
 // AtomicRO implements core.System.
 func (y *System) AtomicRO(s *sim.Strand, body func(core.Ctx)) { y.Atomic(s, body) }
 
-func (c *txn) begin() {
+func (c *Txn) begin() {
 	c.rv = c.s.Load(c.sys.clock)
 	c.readOrecs = c.readOrecs[:0]
 	c.writeAddrs = c.writeAddrs[:0]
@@ -112,7 +112,7 @@ func (c *txn) begin() {
 
 // Load implements core.Ctx: read the value, post-validate its orec against
 // the read version, log the orec.
-func (c *txn) Load(a sim.Addr) sim.Word {
+func (c *Txn) Load(a sim.Addr) sim.Word {
 	// Read-own-writes.
 	for i := len(c.writeAddrs) - 1; i >= 0; i-- {
 		if c.writeAddrs[i] == a {
@@ -141,7 +141,7 @@ func (c *txn) Load(a sim.Addr) sim.Word {
 }
 
 // Store implements core.Ctx: buffer the write until commit.
-func (c *txn) Store(a sim.Addr, w sim.Word) {
+func (c *Txn) Store(a sim.Addr, w sim.Word) {
 	c.writeAddrs = append(c.writeAddrs, a)
 	c.writeVals = append(c.writeVals, w)
 	c.s.Advance(bookkeepCost + 1)
@@ -149,18 +149,18 @@ func (c *txn) Store(a sim.Addr, w sim.Word) {
 
 // Branch implements core.Ctx (outside a hardware transaction a mispredict
 // just costs cycles).
-func (c *txn) Branch(pc uint32, taken bool, _ bool) { c.s.Branch(pc, taken) }
+func (c *Txn) Branch(pc uint32, taken bool, _ bool) { c.s.Branch(pc, taken) }
 
 // Div implements core.Ctx.
-func (c *txn) Div() { c.s.Advance(core.DivCost) }
+func (c *Txn) Div() { c.s.Advance(core.DivCost) }
 
 // Call implements core.Ctx.
-func (c *txn) Call() { c.s.Advance(core.CallCost) }
+func (c *Txn) Call() { c.s.Advance(core.CallCost) }
 
 // Strand implements core.Ctx.
-func (c *txn) Strand() *sim.Strand { return c.s }
+func (c *Txn) Strand() *sim.Strand { return c.s }
 
-func (c *txn) ownsOrec(orec sim.Addr) bool {
+func (c *Txn) ownsOrec(orec sim.Addr) bool {
 	for _, o := range c.lockOrecs {
 		if o == orec {
 			return true
@@ -172,7 +172,7 @@ func (c *txn) ownsOrec(orec sim.Addr) bool {
 // commit runs the TL2 commit protocol: lock the write set's orecs, bump the
 // global clock, validate the read set, apply the writes, release with the
 // new version.
-func (c *txn) commit() bool {
+func (c *Txn) commit() bool {
 	s := c.s
 	// Read-only fast path.
 	if len(c.writeAddrs) == 0 {
@@ -228,7 +228,7 @@ func (c *txn) commit() bool {
 // releaseLocks restores the previous orec values after a failed commit.
 // The committed flag distinguishes cleanup paths; on success locks were
 // already released at the new version.
-func (c *txn) releaseLocks(committed bool) {
+func (c *Txn) releaseLocks(committed bool) {
 	if committed {
 		return
 	}

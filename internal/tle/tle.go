@@ -258,7 +258,7 @@ func (t *System) executeOn(s *sim.Strand, lock ElidableLock, body func(core.Ctx)
 // reads the lock word (placing it in its read set), aborts explicitly if
 // the lock is held, and otherwise runs the critical section speculatively.
 func Try(s *sim.Strand, lockAddr sim.Addr, body func(core.Ctx)) (bool, cps.Bits) {
-	return rock.Try(s, func(tx *rock.Txn) {
+	return rock.Try(s, func(tx rock.Txn) {
 		if tx.Load(lockAddr) != 0 {
 			tx.Abort()
 		}

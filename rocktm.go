@@ -111,7 +111,7 @@ const (
 
 // TryHTM executes body as a single best-effort hardware transaction
 // attempt, returning whether it committed and, if not, the CPS contents.
-func TryHTM(s *Strand, body func(*Txn)) (bool, CPS) { return rock.Try(s, body) }
+func TryHTM(s *Strand, body func(Txn)) (bool, CPS) { return rock.Try(s, body) }
 
 // WarmTLB performs the dummy-CAS TLB warmup idiom over [a, a+words).
 func WarmTLB(s *Strand, a Addr, words int) { rock.WarmTLB(s, a, words) }

@@ -1,28 +1,34 @@
 #!/bin/sh
-# bench.sh — guard the performance-neutrality of the service-tier PR and
-# record the end-to-end cost of the new fleet experiment, writing the
-# results to BENCH_PR7.json.
+# bench.sh — measure the hot-path trajectory of the PR 8 speed round and
+# record it in BENCH_PR8.json: cold serial fig2a, the tiny tail and fleet
+# experiments, and the in-process cell/latency benchmarks.
 #
-# This PR is additive: the sharded service tier (internal/service), the
-# arrival-shape envelopes (workload.Shape) and the fleet experiment ride
-# alongside the existing figures, and the claim is neutrality on the
-# legacy hot path. The only shared-path change is the inter-arrival draw
-# (drawGap now divides by the shape envelope's rate factor, which is
-# exactly 1.0 for the constant shape), and fig2a is closed-loop, so it
-# never draws a gap at all.
+# PR 8 rebuilt the per-access hot path: core.Ctx devirtualized on the
+# kernel walks (cmd/ctxgen), same-line coherence work batched in
+# internal/sim, the Memory backing arrays pooled across machines, and
+# cmd/figures/default.pgo re-trained. Golden digests are byte-identical;
+# only wall-clock moves.
 #
-# The "before" block in the JSON is pinned: it was measured at the pre-PR
-# commit (1b8d325, the last commit before the service tier) on the CI
-# host, with the pre/post binaries alternated in one loop — the only
-# protocol that cancels the 1-core host's ±5% wall-clock drift.
-# Re-running this script re-measures only the "after" block on the
-# current tree.
+# The "before" and "headline" blocks in the JSON are pinned: they were
+# measured at the pre-PR commit (59b27d5) with the pre/post binaries
+# alternated in one loop — the only protocol that cancels the 1-core
+# host's ±5-10% wall-clock drift. Re-running this script re-measures only
+# the "after" block on the current tree.
+#
+# Commit stamping: "after.commit" is the actual HEAD at measurement time,
+# with a "+dirty" suffix when the worktree has uncommitted changes.
+# (BENCH_PR7.json recorded the same commit for before and after because
+# the script ran on the not-yet-committed PR tree and stamped the old
+# HEAD; the +dirty marker makes that state visible instead of silent.)
+#
+# tail/fleet are min-of-ROUNDS now (they were single-round in PR 7), so
+# scripts/benchgate.sh can hold them to the same 10% budget as fig2a.
 #
 # Usage: scripts/bench.sh [output.json]
 
 set -eu
 
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 ROUNDS=${ROUNDS:-3}
 cd "$(dirname "$0")/.."
 
@@ -32,35 +38,38 @@ trap 'rm -rf "$tmp"' EXIT
 echo "building cmd/figures..." >&2
 go build -o "$tmp/figures" ./cmd/figures
 
-# ---- end-to-end: cold serial fig2a (the legacy hot path) ----
+# time_min CMD... : run the command ROUNDS times, echoing "min|run1, run2, ..."
+time_min() {
+    best=
+    runs=
+    i=0
+    while [ "$i" -lt "$ROUNDS" ]; do
+        s=$(date +%s%N)
+        "$@" >/dev/null
+        e=$(date +%s%N)
+        ms=$(((e - s) / 1000000))
+        echo "  round $((i + 1)): ${ms}ms" >&2
+        runs="$runs${runs:+, }$ms"
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
+        i=$((i + 1))
+    done
+    echo "$best|$runs"
+}
+
 echo "timing cold serial 'figures -exp fig2a' ($ROUNDS rounds)..." >&2
-best=
-runs=
-i=0
-while [ "$i" -lt "$ROUNDS" ]; do
-    s=$(date +%s%N)
-    "$tmp/figures" -exp fig2a -parallel 1 -no-cache >/dev/null
-    e=$(date +%s%N)
-    ms=$(((e - s) / 1000000))
-    echo "  round $((i + 1)): ${ms}ms" >&2
-    runs="$runs${runs:+, }$ms"
-    if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
-    i=$((i + 1))
-done
+r=$(time_min "$tmp/figures" -exp fig2a -parallel 1 -no-cache)
+best=${r%%|*}
+runs=${r#*|}
 
-# ---- end-to-end: the tail experiment, tiny config (after-only) ----
-echo "timing 'figures -exp tail' (tiny config, 1 round)..." >&2
-s=$(date +%s%N)
-"$tmp/figures" -exp tail -ops 200 -threads 1,2 -parallel 1 -no-cache >/dev/null
-e=$(date +%s%N)
-tail_ms=$(((e - s) / 1000000))
+echo "timing 'figures -exp tail' (tiny config, $ROUNDS rounds)..." >&2
+r=$(time_min "$tmp/figures" -exp tail -ops 200 -threads 1,2 -parallel 1 -no-cache)
+tail_best=${r%%|*}
+tail_runs=${r#*|}
 
-# ---- end-to-end: the new fleet experiment, tiny config (after-only) ----
-echo "timing 'figures -exp fleet' (tiny config, 1 round)..." >&2
-s=$(date +%s%N)
-"$tmp/figures" -exp fleet -ops 40 -parallel 1 -no-cache >/dev/null
-e=$(date +%s%N)
-fleet_ms=$(((e - s) / 1000000))
+echo "timing 'figures -exp fleet' (tiny config, $ROUNDS rounds)..." >&2
+r=$(time_min "$tmp/figures" -exp fleet -ops 40 -parallel 1 -no-cache)
+fleet_best=${r%%|*}
+fleet_runs=${r#*|}
 
 # ---- in-process benchmarks ----
 echo "running fig2a-cell benchmark..." >&2
@@ -70,12 +79,17 @@ go test -run '^$' -bench BenchmarkLatencyRecord -benchtime 0.5s ./internal/obs/ 
 
 cpu=$(awk -F: '/^model name/ { sub(/^ +/, "", $2); print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
 
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="$commit+dirty"
+fi
+
 {
     cat <<EOF
 {
-  "pr": 7,
-  "title": "Sharded transactional service tier: request router, per-shard batching, 2PC cross-shard transactions over the TM stack",
-  "protocol": "cold serial 'figures -exp fig2a -parallel 1 -no-cache', min of $ROUNDS runs; in-process benchmarks via 'go test -bench'; neutrality headline from pre/post binaries alternated in one loop",
+  "pr": 8,
+  "title": "Second speed round: devirtualize the TM hot path, batch coherence, and gate the whole perf trajectory",
+  "protocol": "cold serial 'figures -exp fig2a -parallel 1 -no-cache' plus tiny tail/fleet, each min of $ROUNDS runs; in-process benchmarks via 'go test -bench'; headline from pre/post binaries alternated in one loop at the pinned commits",
   "host": {
     "goos": "$(go env GOOS)",
     "goarch": "$(go env GOARCH)",
@@ -84,21 +98,27 @@ cpu=$(awk -F: '/^model name/ { sub(/^ +/, "", $2); print $2; exit }' /proc/cpuin
     "cores": $(nproc 2>/dev/null || echo 1)
   },
   "headline": {
-    "note": "additive-subsystem neutrality: the service tier and arrival shapes leave the legacy hot path untouched (constant-shape drawGap divides by exactly 1.0; fig2a is closed-loop and never draws a gap); interleaved pre/post cold serial fig2a has the post minimum 6% *below* the pre minimum, i.e. inside the 1-core host's documented ±5-10% wall-clock drift, and golden digests are byte-identical",
-    "pre_ms": [2722, 2426, 2357],
-    "post_ms": [2410, 2219, 2275],
-    "ratio_min_post_over_pre": 0.941
+    "note": "interleaved pre/post, same host, same loop: cold serial fig2a min 2251->2081 ms (1.08x; 1.13x against BENCH_PR7's recorded 2357 ms min), tiny tail min 115->75 ms (1.53x), tiny fleet min 264->178 ms (1.48x; PR 7 recorded 741 ms), fig2a cell 7616->1357 allocs/op (5.6x). fig2a misses the 1.4x target: its remaining profile is ~28% baton-scheduler coroutine handoffs, which are semantically pinned (quantum and interleaving define the golden cycle identity) — the devirtualization/batching/pooling wins land in full on the construction-heavy tiny configs and in the isolated micro-benches (same-line tx load run 8.2 ns/op vs 25.2 ns/op line-crossing).",
+    "fig2a_pre_ms": [2320, 2251, 2253, 2416, 2264, 2446],
+    "fig2a_post_ms": [2141, 2101, 2175, 2081, 2178, 2202],
+    "fig2a_ratio_pre_over_post_min": 1.082,
+    "tail_tiny_pre_ms": [142, 118, 115],
+    "tail_tiny_post_ms": [76, 82, 75],
+    "fleet_tiny_pre_ms": [365, 264, 290],
+    "fleet_tiny_post_ms": [180, 178, 184]
   },
   "before": {
-    "commit": "1b8d325",
-    "fig2a_cold_serial_ms": { "min": 2357, "runs_interleaved_with_post": [2722, 2426, 2357] },
-    "tail_tiny_cold_serial_ms": 105
+    "commit": "59b27d5",
+    "fig2a_cold_serial_ms": { "min": 2251, "runs_interleaved_with_post": [2320, 2251, 2253, 2416, 2264, 2446] },
+    "tail_tiny_cold_serial_ms": { "min": 115, "runs_interleaved_with_post": [142, 118, 115] },
+    "fleet_tiny_cold_serial_ms": { "min": 264, "runs_interleaved_with_post": [365, 264, 290] },
+    "fig2a_cell_allocs_per_op": 7616
   },
   "after": {
-    "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo worktree)",
+    "commit": "$commit",
     "fig2a_cold_serial_ms": { "min": $best, "runs": [$runs] },
-    "tail_tiny_cold_serial_ms": $tail_ms,
-    "fleet_tiny_cold_serial_ms": $fleet_ms,
+    "tail_tiny_cold_serial_ms": { "min": $tail_best, "runs": [$tail_runs] },
+    "fleet_tiny_cold_serial_ms": { "min": $fleet_best, "runs": [$fleet_runs] },
     "fig2a_cell": {
 EOF
     awk '/^BenchmarkFig2aCell/ {
@@ -118,4 +138,4 @@ EOF
 EOF
 } >"$out"
 
-echo "wrote $out (fig2a cold serial: min ${best}ms; tail tiny: ${tail_ms}ms; fleet tiny: ${fleet_ms}ms)" >&2
+echo "wrote $out (fig2a: min ${best}ms; tail tiny: min ${tail_best}ms; fleet tiny: min ${fleet_best}ms)" >&2
