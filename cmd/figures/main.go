@@ -16,6 +16,7 @@
 //	figures -exp fig1a -trace t.json # Chrome/Perfetto event trace
 //	figures -exp timeline            # windowed timeseries + detectors + SLOs
 //	figures -exp fleet               # sharded service tier: router x batching x 2PC
+//	figures -exp htmdesign           # HTM design space: design point x workload x policy
 //	figures -exp tail -timeline w.json    # window series of any experiment
 //	figures -timeline-window 16384   # window width in simulated cycles
 //	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
@@ -38,8 +39,10 @@
 // the shard-count axis, see docs/SERVICE.md),
 // plus the ablations ablate-retry (PhTM retry budget), ablate-ucti (UCTI
 // failure weight), ablate-throttle (adaptive concurrency throttling
-// extension) and policy (retry policy × fault-injection profile, see
-// docs/POLICY.md and docs/ABORT-PLAYBOOK.md).
+// extension), policy (retry policy × fault-injection profile, see
+// docs/POLICY.md and docs/ABORT-PLAYBOOK.md), and the design-space sweep
+// htmdesign (HTM design point × workload × retry policy, see
+// docs/HTM-DESIGN.md).
 package main
 
 import (
@@ -422,6 +425,7 @@ func buildExperiments(o bench.Options, mo bench.MSFOptions) []experiment {
 		{"ablate-ucti", func() (*bench.Figure, error) { return bench.AblationUCTIWeight(o) }},
 		{"ablate-throttle", func() (*bench.Figure, error) { return bench.AblationThrottle(o) }},
 		{"policy", func() (*bench.Figure, error) { return bench.PolicyFigure(o) }},
+		{"htmdesign", func() (*bench.Figure, error) { return bench.HTMDesignFigure(o) }},
 	}
 }
 

@@ -146,3 +146,28 @@ func TestCatalogueIncludesFleet(t *testing.T) {
 		t.Errorf("unknown-experiment error does not enumerate fleet: %v", err)
 	}
 }
+
+// The htmdesign experiment (HTM design-space sweep) is part of the
+// catalogue, the list stays sorted, and the unknown-name error
+// enumerates it.
+func TestCatalogueIncludesHTMDesign(t *testing.T) {
+	valid := experimentNames(buildExperiments(bench.Options{}, bench.MSFOptions{}))
+	if !sort.StringsAreSorted(valid) {
+		t.Errorf("-exp list is not sorted: %v", valid)
+	}
+	set := map[string]bool{}
+	for _, n := range valid {
+		set[n] = true
+	}
+	if !set["htmdesign"] {
+		t.Fatalf("experiment catalogue missing \"htmdesign\": %v", valid)
+	}
+	if sel, err := parseExpFlag("htmdesign", valid); err != nil || !sel["htmdesign"] {
+		t.Fatalf("-exp htmdesign rejected: sel=%v err=%v", sel, err)
+	}
+	if _, err := parseExpFlag("htmdeisgn", valid); err == nil {
+		t.Fatal("unknown experiment accepted")
+	} else if !strings.Contains(err.Error(), "htmdesign") {
+		t.Errorf("unknown-experiment error does not enumerate htmdesign: %v", err)
+	}
+}

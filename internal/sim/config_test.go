@@ -30,6 +30,14 @@ func TestConfigDigest(t *testing.T) {
 		"sq/bank":  func(c *Config) { c.StoreQueuePerBank = 4 },
 		"cost":     func(c *Config) { c.Costs.L2Hit = 99 },
 		"ucti":     func(c *Config) { c.UCTIAbortProb = 0.99 },
+		// The HTM design axes must key the cache: serving a Rock result
+		// for an eager-VM config (or vice versa) would silently corrupt
+		// every htmdesign sweep.
+		"htm/vm":      func(c *Config) { c.HTM.VM = VMEager },
+		"htm/detect":  func(c *Config) { c.HTM.Detect = DetectLazy },
+		"htm/resolve": func(c *Config) { c.HTM.Resolve = ResCommitterWins },
+		"htm/sticky":  func(c *Config) { c.HTM.StickyLines = 8 },
+		"cost/nack":   func(c *Config) { c.Costs.NackStall = 99 },
 	}
 	for name, mutate := range mutations {
 		c := DefaultConfig(4)

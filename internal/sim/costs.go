@@ -38,6 +38,23 @@ type Costs struct {
 	// PageFault is the cost of the OS servicing a page fault (first touch
 	// of an unmapped or read-only page outside a transaction).
 	PageFault int64
+
+	// The three costs below price the non-default HTM design points
+	// (Config.HTM); none is charged under the all-default Rock design, so
+	// adding them left every golden digest untouched.
+
+	// LogWrite is the cost of appending one undo-log entry under eager
+	// version management (HTMDesign.VM = VMEager), charged per
+	// transactional store; an abort re-pays it per rolled-back entry.
+	LogWrite int64
+	// NackStall is the stall window a requester waits after being NACKed
+	// by a conflicting holder under committer-wins or timestamp conflict
+	// resolution, before re-checking the line once.
+	NackStall int64
+	// StickyEvict is the cost of spilling a transactionally marked line
+	// into the bounded sticky overflow set (HTMDesign.StickyLines > 0)
+	// instead of aborting on its L1 displacement.
+	StickyEvict int64
 }
 
 // DefaultCosts returns the cost table used throughout the experiments.
@@ -56,5 +73,8 @@ func DefaultCosts() Costs {
 		AbortPenalty:   24,
 		TLBWalk:        140,
 		PageFault:      1800,
+		LogWrite:       3,
+		NackStall:      40,
+		StickyEvict:    12,
 	}
 }

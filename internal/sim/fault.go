@@ -41,6 +41,14 @@ type FaultPlan struct {
 	// played by the fault injector). Fires only once the attempt has
 	// marked at least one line.
 	InvalidateProb float64
+	// EvictMarkedProb is the per-transactional-access probability that a
+	// randomly chosen marked line of the attempt is displaced from the
+	// strand's own L1 (an adversarial capacity/conflict eviction). Under
+	// the default zero-tolerance design the transaction dooms with CPS=LD;
+	// under a sticky-set design (Config.HTM.StickyLines > 0) the spill is
+	// absorbed until the overflow bound, after which it dooms with
+	// CPS=LD|SIZ — the knob exists precisely to exercise that axis.
+	EvictMarkedProb float64
 
 	// SqueezeStoreQueue, when nonzero, overrides the per-bank store-queue
 	// capacity downward (or upward) regardless of mode — a capacity
@@ -55,7 +63,8 @@ type FaultPlan struct {
 // probabilistic reports whether any per-access fault dice need rolling
 // (capacity squeezes are static overrides and need no RNG).
 func (f FaultPlan) probabilistic() bool {
-	return f.InterruptProb > 0 || f.TLBShootdownProb > 0 || f.InvalidateProb > 0
+	return f.InterruptProb > 0 || f.TLBShootdownProb > 0 || f.InvalidateProb > 0 ||
+		f.EvictMarkedProb > 0
 }
 
 // Enabled reports whether the plan injects anything at all.
@@ -99,6 +108,31 @@ func (f *faultInjector) onTxAccess(s *Strand) {
 	}
 	if p.InvalidateProb > 0 && len(s.tx.marked) > 0 && f.rng.Chance(p.InvalidateProb) {
 		s.doom(cohBit)
+	}
+	if p.EvictMarkedProb > 0 && len(s.tx.marked) > 0 && f.rng.Chance(p.EvictMarkedProb) {
+		f.evictMarked(s)
+	}
+}
+
+// evictMarked displaces one randomly chosen marked line of the in-flight
+// attempt from the strand's own L1, exercising the set-eviction-tolerance
+// axis: the displacement flows through the same spillMarked decision the
+// organic fillMiss path uses, so a sticky design absorbs it (until the
+// bound) and the default design dooms with the same reason an organic
+// capacity eviction produces. Doomed (not aborted inline), so delivery
+// happens at the access's own checkDoom like every asynchronous event.
+func (f *faultInjector) evictMarked(s *Strand) {
+	line := s.tx.marked[f.rng.Intn(len(s.tx.marked))]
+	wasPresent, _ := s.l1.invalidate(line)
+	if !wasPresent {
+		// Already absent from the L1 (e.g. an earlier spill made it
+		// sticky); nothing to displace.
+		return
+	}
+	lm := &s.m.mem.lines[line]
+	lm.present &^= s.bit
+	if !s.spillMarked(lm) {
+		s.doom(s.evictAbortReason())
 	}
 }
 

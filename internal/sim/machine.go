@@ -118,6 +118,13 @@ type Config struct {
 	// fault-free runs are bit-for-bit identical to pre-fault-injection
 	// builds.
 	Faults FaultPlan
+
+	// HTM selects the point in the HTM design space the machine implements
+	// (version management, conflict detection/resolution, set-eviction
+	// tolerance — see HTMDesign and docs/HTM-DESIGN.md). The zero value is
+	// Rock's design and is bit-for-bit identical to builds that predate the
+	// knob, pinned by the golden cycle-identity digests.
+	HTM HTMDesign
 }
 
 // DefaultConfig returns a Rock-flavoured configuration for n strands.
@@ -188,6 +195,20 @@ type Machine struct {
 	// the transaction hot paths never re-branch on cfg.Mode.
 	sqPerBank int
 	defQueue  int
+
+	// HTM design point, resolved from cfg.HTM at construction for the same
+	// reason. All four are their zero values under the default Rock design,
+	// and every non-default branch in the transaction paths is gated on
+	// them.
+	vmEager   bool
+	detLazy   bool
+	resolve   ConflictResolution
+	stickyCap int
+	// txSeq issues machine-wide transaction begin timestamps for
+	// ResTimestamp arbitration. It advances on every TxBegin regardless of
+	// design (host state only — no cycles, no RNG draws), so flipping the
+	// Resolve knob never perturbs the RNG streams.
+	txSeq uint64
 
 	// Load-conflict doom broadcast, one bit per strand. activeMask mirrors
 	// each strand's tx.active flag (set at TxBegin, cleared at commit and
@@ -272,12 +293,17 @@ func New(cfg Config) *Machine {
 	requirePow2("MicroDTLB", cfg.MicroDTLB)
 	requirePow2("MainDTLB", cfg.MainDTLB)
 	requirePow2("ITLB", cfg.ITLB)
+	cfg.HTM.validate()
 	m := &Machine{
 		cfg:       cfg,
 		mem:       newMemory(cfg.MemWords),
 		l2:        newL2(cfg.L2Sets, cfg.L2Ways),
 		sqPerBank: cfg.storeQueuePerBank(),
 		defQueue:  cfg.deferredQueue(),
+		vmEager:   cfg.HTM.VM == VMEager,
+		detLazy:   cfg.HTM.Detect == DetectLazy,
+		resolve:   cfg.HTM.Resolve,
+		stickyCap: cfg.HTM.StickyLines,
 	}
 	// Capacity-squeeze faults override the mode-resolved queue capacities.
 	if q := cfg.Faults.SqueezeStoreQueue; q > 0 {

@@ -322,8 +322,17 @@ func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool, idx int) 
 	if evicted != -1 {
 		lm := &s.m.mem.lines[evicted]
 		lm.present &^= s.bit
-		lm.marked &^= s.bit
-		lm.written &^= s.bit
+		if evMark {
+			// A transactionally marked line was displaced. A sticky design
+			// with budget left absorbs it — the directory marks survive in
+			// the overflow set and the caller sees no eviction; otherwise
+			// (always, under the default) the marks are dropped and the
+			// caller aborts.
+			evMark = !s.spillMarked(lm)
+		} else {
+			lm.marked &^= s.bit
+			lm.written &^= s.bit
+		}
 	}
 	l2hit, l2evicted := s.m.l2.access(line)
 	if l2hit {
@@ -344,16 +353,21 @@ func (s *Strand) fillMiss(line int32) (l1Hit bool, evictedMarked bool, idx int) 
 // single-threaded "coherence" surprises).
 func (s *Strand) backInvalidate(line int32) {
 	lm := &s.m.mem.lines[line]
-	if lm.present == 0 {
+	// Folding marked into the scan mask is a no-op under the default design
+	// (a marked line is always present — it cannot leave an L1 without
+	// aborting its holder) but reaches sticky-set holders, whose marks
+	// outlive their L1 copy; an L2 back-invalidation aborts them too, since
+	// only L1 displacement is tolerated.
+	if lm.present|lm.marked == 0 {
 		return
 	}
 	// Iterate only the set bits (ascending strand ID, same order as the
 	// old full scan) instead of all strands.
-	for rest := lm.present; rest != 0; rest &= rest - 1 {
+	for rest := lm.present | lm.marked; rest != 0; rest &= rest - 1 {
 		t := s.m.strands[bits.TrailingZeros64(rest)]
 		_, wasMarked := t.l1.invalidate(line)
 		if wasMarked || lm.marked&t.bit != 0 {
-			t.doom(cohBit)
+			s.m.doomRemote(t, cohBit)
 		}
 	}
 	lm.present = 0
@@ -375,7 +389,10 @@ func (s *Strand) storeInvalidate(line int32, lm *lineMeta) {
 		t := s.m.strands[bits.TrailingZeros64(rest)]
 		t.l1.invalidate(line)
 		if lm.marked&t.bit != 0 {
-			t.doom(cohBit)
+			// doomRemote is exactly doom under the default design; under
+			// eager version management it also unrolls the victim's undo
+			// log before this access can observe memory.
+			s.m.doomRemote(t, cohBit)
 		}
 	}
 	lm.present &= s.bit
@@ -390,6 +407,15 @@ func (s *Strand) storeInvalidate(line int32, lm *lineMeta) {
 // still happens at the victims' next checkDoom point, which folds the bit
 // into the CPS reasons just as per-strand dooming did.
 func (s *Strand) loadConflict(lm *lineMeta) {
+	if s.m.vmEager {
+		// Eager version management cannot defer delivery behind a mask op:
+		// the writers' in-place speculative values must be rolled back
+		// before this load reads memory, so doom each victim directly.
+		for rest := lm.written & s.m.activeMask &^ s.bit; rest != 0; rest &= rest - 1 {
+			s.m.doomRemote(s.m.strands[bits.TrailingZeros64(rest)], cohBit)
+		}
+		return
+	}
 	s.m.cohDoom |= lm.written & s.m.activeMask &^ s.bit
 }
 

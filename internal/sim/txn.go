@@ -59,6 +59,17 @@ type txnState struct {
 	reads, writes int
 	upgrades      int // lines read first, written later
 	stackWrites   int
+
+	// Non-default HTM design state (Config.HTM); all three stay zero under
+	// the Rock default. sticky counts marked-line displacements absorbed by
+	// the sticky overflow set this attempt; rolledBack counts undo-log
+	// entries a remote conflict already restored under eager version
+	// management (their LogWrite cost is charged when the abort is
+	// delivered); ts is the machine-wide begin sequence number timestamp
+	// arbitration orders transactions by.
+	sticky     int
+	rolledBack int
+	ts         uint64
 }
 
 // TxBegin takes a register checkpoint and enters transactional execution
@@ -81,6 +92,13 @@ func (s *Strand) TxBegin() {
 	t.deferred = 0
 	t.lastLoadMissed = false
 	t.lastLine = -1
+	t.sticky = 0
+	t.rolledBack = 0
+	// The begin timestamp advances on every attempt regardless of design:
+	// it is host state only (no cycles, no RNG draws), so the Resolve knob
+	// never perturbs the default design's streams.
+	t.ts = s.m.txSeq
+	s.m.txSeq++
 	// Transactional translations move the micro-DTLB head, so the
 	// non-transactional same-line cache cannot survive the transaction.
 	s.ntLine = -1
@@ -126,6 +144,14 @@ func (s *Strand) txAbort(reason uint32) {
 	}
 	s.m.activeMask &^= s.bit
 	t.cpsReg = reason
+	// Eager version management: restore memory from the undo log (a remote
+	// conflict may have already unrolled part or all of it — rolledBack —
+	// in which case only the restore *cost* remains to be charged here).
+	var rolled int
+	if s.m.vmEager {
+		rolled = t.rollbackUndo(s.m.mem) + t.rolledBack
+		t.rolledBack = 0
+	}
 	if s.trc != nil {
 		s.trc.Record(s.id, s.clock, obs.EvTxAbort, uint64(reason))
 	}
@@ -146,7 +172,7 @@ func (s *Strand) txAbort(reason uint32) {
 	// variability; without it, symmetric transactions retrying in lockstep
 	// can doom each other in a perfectly periodic ring forever, which even
 	// Rock's "requester wins" policy does not quite manage.
-	s.clock += s.m.cfg.Costs.AbortPenalty + int64(s.rng.Next()&7)
+	s.clock += s.m.cfg.Costs.AbortPenalty + int64(rolled)*s.m.cfg.Costs.LogWrite + int64(s.rng.Next()&7)
 }
 
 // TxAbortTrap executes an always-taken trap instruction, the software
@@ -233,7 +259,9 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 
 	// Read-own-writes: forward from the store queue if present (fwd maps
 	// each address to its latest queue entry, so this matches the old
-	// backwards scan's youngest-store-wins exactly).
+	// backwards scan's youngest-store-wins exactly). Under eager version
+	// management fwd is never populated — own writes are already in memory
+	// — so the probe falls through to the ordinary read.
 	if len(t.storeAddrs) > 0 {
 		if i, ok := t.fwd.get(uint32(a)); ok {
 			s.clock += s.m.cfg.Costs.L1Hit
@@ -243,11 +271,19 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 		}
 	}
 
+	// Committer-wins / timestamp resolution arbitrates against active
+	// writers before the line is filled (the NACK stall may yield the
+	// baton, so it must run while this access holds no L1 slot state).
+	if s.m.resolve != ResRequesterWins && !s.resolveArb(line, false) {
+		return 0, false
+	}
+
 	hit, evictedMarked, idx := s.fill(line)
 	if evictedMarked {
-		// A transactionally marked line left the L1: the read set can no
-		// longer be tracked (CPS=LD).
-		s.txAbort(ldBit)
+		// A transactionally marked line left the L1 and the design did not
+		// absorb it into a sticky overflow set: the read set can no longer
+		// be tracked (CPS=LD; LD|SIZ when a sticky set itself overflowed).
+		s.txAbort(s.evictAbortReason())
 		return 0, false
 	}
 	if !hit {
@@ -269,14 +305,18 @@ func (s *Strand) TxLoad(a Addr) (w Word, ok bool) {
 		}
 	}
 	// Mark the line and broadcast the load conflict off one directory
-	// deref (fill guarantees idx holds the line — see fill).
+	// deref (fill guarantees idx holds the line — see fill). Under lazy
+	// detection there is no broadcast: the conflict surfaces when a
+	// committer's drain invalidates this mark.
 	lm := &s.m.mem.lines[line]
 	if lm.marked&s.bit == 0 {
 		lm.marked |= s.bit
 		t.marked = append(t.marked, line)
 	}
 	s.l1.mark(idx)
-	s.loadConflict(lm)
+	if !s.m.detLazy {
+		s.loadConflict(lm)
+	}
 	t.lastLine, t.lastIdx, t.lastGen = line, int32(idx), pg.gen
 	t.lastLoadMissed = !hit
 	t.reads++
@@ -338,12 +378,17 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	t.lastLoadMissed = false
 
 	line := LineOf(a)
+	// Committer-wins / timestamp resolution arbitrates against every
+	// active marker before the line is filled (see TxLoad).
+	if s.m.resolve != ResRequesterWins && !s.resolveArb(line, true) {
+		return false
+	}
 	// Stores are gated in the store queue, so a store miss does not defer
 	// dependent instructions the way a load miss does; it only pays the
 	// ownership-request latency.
 	hit, evictedMarked, idx := s.fill(line)
 	if evictedMarked {
-		s.txAbort(ldBit)
+		s.txAbort(s.evictAbortReason())
 		return false
 	}
 	// As in TxLoad, only a miss (whose L2 eviction may back-invalidate a
@@ -355,14 +400,18 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	// Store queue: entries coalesce at cache-line granularity (which is
 	// why the paper's overflow test stores to 33 *different* lines), and
 	// two banks are selected by a line-address bit; per-bank overflow
-	// aborts with ST|SIZ (the Section 3 "overflow" test).
-	if _, seen := t.lineSet.get(uint32(line)); !seen {
-		t.lineSet.put(uint32(line), 0)
-		bank := int(line & 1)
-		t.bankCount[bank]++
-		if t.bankCount[bank] > s.m.sqPerBank {
-			s.txAbort(stBit | sizBit)
-			return false
+	// aborts with ST|SIZ (the Section 3 "overflow" test). Eager version
+	// management bypasses the store queue entirely — its write-set bound
+	// is the undo log, which this model does not cap.
+	if !s.m.vmEager {
+		if _, seen := t.lineSet.get(uint32(line)); !seen {
+			t.lineSet.put(uint32(line), 0)
+			bank := int(line & 1)
+			t.bankCount[bank]++
+			if t.bankCount[bank] > s.m.sqPerBank {
+				s.txAbort(stBit | sizBit)
+				return false
+			}
 		}
 	}
 
@@ -379,13 +428,29 @@ func (s *Strand) TxStore(a Addr, w Word) bool {
 	s.l1.mark(idx)
 	lm.written |= s.bit
 
-	// Requester wins: demand exclusive ownership now, dooming every other
-	// transaction that has this line marked.
-	s.storeInvalidate(line, lm)
+	// Eager detection: demand exclusive ownership now. Under the default
+	// requester-wins resolution this dooms every other transaction that
+	// has the line marked; under committer-wins/timestamp the arbitration
+	// above already cleared (or lost to) every transactional holder, so
+	// this only strips non-transactional copies. Lazy detection defers the
+	// ownership request to the commit drain.
+	if !s.m.detLazy {
+		s.storeInvalidate(line, lm)
+	}
 
-	t.storeAddrs = append(t.storeAddrs, a)
-	t.storeVals = append(t.storeVals, w)
-	t.fwd.put(uint32(a), int32(len(t.storeVals)-1))
+	if s.m.vmEager {
+		// Eager version management: write memory in place, logging the
+		// previous value for rollback. Every store appends an entry (no
+		// coalescing — the log is a sequential record).
+		s.clock += s.m.cfg.Costs.LogWrite
+		t.storeAddrs = append(t.storeAddrs, a)
+		t.storeVals = append(t.storeVals, s.m.mem.words[a])
+		s.m.mem.words[a] = w
+	} else {
+		t.storeAddrs = append(t.storeAddrs, a)
+		t.storeVals = append(t.storeVals, w)
+		t.fwd.put(uint32(a), int32(len(t.storeVals)-1))
+	}
 	t.writes++
 	return true
 }
@@ -499,15 +564,27 @@ func (s *Strand) TxCommit() bool {
 		panic("sim: TxCommit outside transaction")
 	}
 	t := &s.tx
-	s.advance(s.m.cfg.Costs.CommitBase + int64(len(t.storeAddrs))*s.m.cfg.Costs.CommitPerStore)
+	commitCost := s.m.cfg.Costs.CommitBase
+	if !s.m.vmEager {
+		// Eager version management commits in constant time — the data is
+		// already in place; only the lazy designs pay the per-store drain.
+		commitCost += int64(len(t.storeAddrs)) * s.m.cfg.Costs.CommitPerStore
+	}
+	s.advance(commitCost)
 	if s.checkDoom() {
 		return false
 	}
 	drained := len(t.storeAddrs)
-	for i, a := range t.storeAddrs {
-		line := LineOf(a)
-		s.storeInvalidate(line, &s.m.mem.lines[line])
-		s.m.mem.words[a] = t.storeVals[i]
+	if !s.m.vmEager {
+		// Drain the store queue. Under lazy conflict detection this drain
+		// *is* the arbitration: each storeInvalidate dooms every other
+		// transaction holding the line marked, so the first committer wins
+		// and its victims see COH at their next delivery point.
+		for i, a := range t.storeAddrs {
+			line := LineOf(a)
+			s.storeInvalidate(line, &s.m.mem.lines[line])
+			s.m.mem.words[a] = t.storeVals[i]
+		}
 	}
 	for _, line := range t.marked {
 		s.m.mem.lines[line].marked &^= s.bit
