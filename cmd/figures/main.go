@@ -20,6 +20,7 @@
 //	figures -exp tail -timeline w.json    # window series of any experiment
 //	figures -timeline-window 16384   # window width in simulated cycles
 //	figures -parallel 8              # worker-pool size (0 = GOMAXPROCS)
+//	figures -sched coroutine         # legacy goroutine strand scheduler
 //	figures -no-cache                # recompute every cell
 //	figures -cache-dir /tmp/rc       # result cache location
 //	figures -progress                # per-cell progress/ETA on stderr
@@ -135,6 +136,7 @@ type cliFlags struct {
 	noCache  *bool
 	progress *bool
 	cellTime *time.Duration
+	sched    *string
 }
 
 // registerFlags declares the full flag surface on fs.
@@ -159,6 +161,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		noCache:  fs.Bool("no-cache", false, "recompute every cell, ignoring and not writing the cache"),
 		progress: fs.Bool("progress", false, "report per-cell progress and ETA on stderr"),
 		cellTime: fs.Duration("cell-timeout", 0, "per-cell wall-clock budget; an over-budget cell fails alone (0 = none)"),
+		sched:    fs.String("sched", "", "strand scheduler: 'step' (continuation driver) or 'coroutine' (legacy goroutine driver); empty defers to ROCKTM_SCHED, then 'step'"),
 	}
 }
 
@@ -180,6 +183,18 @@ func main() {
 	threads, err := parseThreads(*fl.threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+
+	// Scheduler selection feeds bench.Options.Sched; validating here turns a
+	// typo into a usage error instead of silently running the default driver.
+	// Either driver produces byte-identical figures (the differential golden
+	// test pins this), so -sched is a performance/debugging knob, not part of
+	// any cell cache key.
+	switch *fl.sched {
+	case "", bench.SchedStep, bench.SchedCoroutine:
+	default:
+		fmt.Fprintf(os.Stderr, "figures: -sched must be %q or %q, got %q\n", bench.SchedStep, bench.SchedCoroutine, *fl.sched)
 		os.Exit(2)
 	}
 
@@ -258,7 +273,7 @@ func main() {
 		}
 	}
 
-	o := bench.Options{Threads: threads, OpsPerThread: *fl.ops, Seed: *fl.seed, Runner: pool, Latency: *fl.latency, TimelineWindow: *fl.tlWindow}
+	o := bench.Options{Threads: threads, OpsPerThread: *fl.ops, Seed: *fl.seed, Runner: pool, Latency: *fl.latency, TimelineWindow: *fl.tlWindow, Sched: *fl.sched}
 	var sink *obs.TraceSink
 	if *fl.trace != "" {
 		sink = &obs.TraceSink{}

@@ -123,6 +123,33 @@ func TestFlagSurfaceCarriesTimeline(t *testing.T) {
 	}
 }
 
+// The flag surface carries the scheduler selector: -sched parses into
+// cliFlags.sched, and both driver names round-trip.
+func TestFlagSurfaceCarriesSched(t *testing.T) {
+	for _, name := range []string{bench.SchedStep, bench.SchedCoroutine} {
+		fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+		fl := registerFlags(fs)
+		if fs.Lookup("sched") == nil {
+			t.Fatal("flag -sched not registered")
+		}
+		if err := fs.Parse([]string{"-sched", name}); err != nil {
+			t.Fatal(err)
+		}
+		if *fl.sched != name {
+			t.Errorf("parsed sched=%q, want %q", *fl.sched, name)
+		}
+	}
+	// Unset means "defer to ROCKTM_SCHED, then the step default".
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fl := registerFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *fl.sched != "" {
+		t.Errorf("default sched=%q, want empty", *fl.sched)
+	}
+}
+
 // The fleet experiment (sharded service tier) is part of the catalogue,
 // the list stays sorted, and the unknown-name error enumerates it.
 func TestCatalogueIncludesFleet(t *testing.T) {

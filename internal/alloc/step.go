@@ -1,0 +1,102 @@
+// Continuation-machine execution (sim.RunStepped) for the node allocator:
+// Get and Put become explicit state machines whose resume points are their
+// cycle charges and the shared bump-pointer fetch-add. Host bookkeeping
+// (free-list pops and pushes) fires exactly once per operation, at the same
+// point in the simulated-operation order as the coroutine path.
+package alloc
+
+import "rocktm/internal/sim"
+
+// GetStep states.
+const (
+	agDispatch uint8 = iota
+	agPopCharge
+	agCursor
+	agOverflow
+)
+
+// GetStep is one Pool.Get as a continuation machine.
+type GetStep struct {
+	st uint8
+	a  sim.Addr
+}
+
+// Arm resets the machine for a fresh allocation.
+func (g *GetStep) Arm() { g.st, g.a = agDispatch, 0 }
+
+// Step advances the allocation; false means the strand must yield. The
+// block address is available from Addr once Step returns true.
+func (g *GetStep) Step(s *sim.Strand, p *Pool) bool {
+	for {
+		switch g.st {
+		case agDispatch:
+			fl := p.free[s.ID()]
+			if n := len(fl); n > 0 {
+				g.a = fl[n-1]
+				p.free[s.ID()] = fl[:n-1]
+				g.st = agPopCharge
+			} else {
+				g.st = agCursor
+			}
+		case agPopCharge:
+			s.Advance(2) // local free-list pop
+			if s.YieldPending() {
+				return false
+			}
+			return true
+		case agCursor:
+			next := p.cursorAdd(s)
+			if s.YieldPending() {
+				return false
+			}
+			if next > sim.Word(p.limit) {
+				g.st = agOverflow
+				continue
+			}
+			g.a = sim.Addr(next) - sim.Addr(p.nodeWords)
+			return true
+		default: // agOverflow
+			s.Advance(40)
+			if s.YieldPending() {
+				return false
+			}
+			for t := range p.free {
+				if n := len(p.free[t]); n > 0 {
+					g.a = p.free[t][n-1]
+					p.free[t] = p.free[t][:n-1]
+					return true
+				}
+			}
+			panic("alloc: pool exhausted")
+		}
+	}
+}
+
+// Addr returns the allocated block once Step has returned true.
+func (g *GetStep) Addr() sim.Addr { return g.a }
+
+// PutStep is one Pool.Put as a continuation machine.
+type PutStep struct {
+	pushed bool
+	a      sim.Addr
+}
+
+// Arm resets the machine to return block a; a zero address is a no-op, as
+// in Put, so callers can arm unconditionally.
+func (q *PutStep) Arm(a sim.Addr) { q.pushed, q.a = false, a }
+
+// Step advances the reclamation; false means the strand must yield.
+func (q *PutStep) Step(s *sim.Strand, p *Pool) bool {
+	if q.a == 0 {
+		return true
+	}
+	if !q.pushed {
+		p.free[s.ID()] = append(p.free[s.ID()], q.a)
+		q.pushed = true
+	}
+	s.Advance(2)
+	if s.YieldPending() {
+		return false
+	}
+	return true
+}

@@ -10,7 +10,7 @@ import (
 	"rocktm/internal/workload"
 )
 
-// The htmdesign sweep replays two contrasting workloads against every
+// The htmdesign sweep replays three contrasting workloads against every
 // named HTM design point (sim.DesignPointNames):
 //
 //   - rbtree: the Figure 2(b) red-black tree (2048 keys, 96% reads) —
@@ -20,6 +20,9 @@ import (
 //   - hash: the Figure 1(a) hash table at key range 256 with 0% lookups —
 //     short write-only transactions under genuine line contention, the
 //     livelock-shaped workload conflict resolution exists for.
+//   - rbtree-evict: the same tree under the "evict" fault profile
+//     (adversarial displacement of marked lines), the injectable version
+//     of the capacity pathology the sticky axis was built to absorb.
 //
 // Each (design, workload) pair runs under the paper policy and the
 // adaptive policy, with tunings routed through policy.TuningForDesign so
@@ -33,6 +36,11 @@ type htmWorkload struct {
 	pctLookup int
 	memWords  int
 	build     func(m *sim.Machine, keyRange int) kvStructure
+	// faults names a sim.FaultProfile injected into every cell of this
+	// workload ("" means none). The plan rides in sim.Config.Faults, so
+	// the cache key (Config.Digest) distinguishes faulted cells the same
+	// way it distinguishes designs.
+	faults string
 }
 
 func htmDesignWorkloads() []htmWorkload {
@@ -41,6 +49,13 @@ func htmDesignWorkloads() []htmWorkload {
 			memWords: policyMemWords, build: rbtreeKV},
 		{name: "hash", keyRange: 256, pctLookup: 0,
 			memWords: 1 << 23, build: hashtableKV(1 << 17)},
+		// The rbtree under the adversarial marked-line-eviction profile:
+		// the workload the sticky axis exists for — the default design
+		// dooms every displacement with LD, a sticky design absorbs them
+		// up to its bound (the capacity half of the E23 tail pathology,
+		// now injectable on demand).
+		{name: "rbtree-evict", keyRange: policyKeyRange, pctLookup: policyPctLookup,
+			memWords: policyMemWords, build: rbtreeKV, faults: "evict"},
 	}
 }
 
@@ -50,11 +65,15 @@ func htmDesignWorkloads() []htmWorkload {
 // already covers it).
 func htmDesignPolicies() []string { return []string{"paper", "adaptive"} }
 
-// htmDesignCfg is machineCfg with the HTM design point installed; the
-// design is part of the config, so the runner cache digests key it.
-func htmDesignCfg(threads, memWords int, seed uint64, design string) sim.Config {
+// htmDesignCfg is machineCfg with the HTM design point and the workload's
+// fault profile installed; both are part of the config, so the runner
+// cache digests key them.
+func htmDesignCfg(threads, memWords int, seed uint64, design, faults string) sim.Config {
 	cfg := machineCfg(threads, memWords, seed)
 	cfg.HTM = sim.DesignPoint(design)
+	if faults != "" {
+		cfg.Faults = sim.FaultProfile(faults)
+	}
 	return cfg
 }
 
@@ -62,7 +81,7 @@ func htmDesignCfg(threads, memWords int, seed uint64, design string) sim.Config 
 // PhTM over the SkySTM back end, with the machine implementing the named
 // design point and the policy tuned for it.
 func runHTMDesignCell(o Options, design string, wl htmWorkload, polName string, threads int) (Point, error) {
-	cfg := htmDesignCfg(threads, wl.memWords, o.Seed, design)
+	cfg := htmDesignCfg(threads, wl.memWords, o.Seed, design, wl.faults)
 	m := sim.New(cfg)
 	defer m.Recycle()
 	st := wl.build(m, wl.keyRange)
@@ -131,13 +150,14 @@ func HTMDesignFigure(o Options) (*Figure, error) {
 					th := th
 					cells = append(cells, pointCell{
 						Spec: o.spec("htmdesign", design+"/"+wl.name+"/"+pol, th,
-							htmDesignCfg(th, wl.memWords, o.Seed, design),
+							htmDesignCfg(th, wl.memWords, o.Seed, design, wl.faults),
 							map[string]string{
 								"design":   design,
 								"workload": wl.name,
 								"keyrange": itoa(wl.keyRange),
 								"lookup":   itoa(wl.pctLookup),
 								"policy":   pol,
+								"faults":   wl.faults,
 							}),
 						Compute: func() (Point, error) { return runHTMDesignCell(o, design, wl, pol, th) },
 					})

@@ -73,7 +73,7 @@ func TestHTMDesignCellDigestsKeyDesign(t *testing.T) {
 	wl := htmDesignWorkloads()[0]
 	digests := map[string]string{}
 	for _, design := range sim.DesignPointNames() {
-		cfg := htmDesignCfg(2, wl.memWords, o.Seed, design)
+		cfg := htmDesignCfg(2, wl.memWords, o.Seed, design, wl.faults)
 		d := cfg.Digest()
 		if prev, ok := digests[d]; ok {
 			t.Errorf("designs %s and %s share config digest %s", prev, design, d)
@@ -82,5 +82,38 @@ func TestHTMDesignCellDigestsKeyDesign(t *testing.T) {
 	}
 	if len(digests) < 4 {
 		t.Errorf("only %d distinct design digests (rock + at least 3 non-default required)", len(digests))
+	}
+}
+
+// TestHTMDesignCellDigestsKeyFaults pins the other half of the sweep's
+// cache safety: cells that differ only in the workload's fault profile
+// (rbtree vs rbtree-evict) must carry different config digests, or the
+// runner cache would serve an unfaulted result for a faulted cell. Also
+// asserts the evict profile is actually reachable from the sweep.
+func TestHTMDesignCellDigestsKeyFaults(t *testing.T) {
+	o := htmTestOptions()
+	var plain, evict *htmWorkload
+	for i := range htmDesignWorkloads() {
+		wl := htmDesignWorkloads()[i]
+		switch {
+		case wl.faults == "evict":
+			evict = &wl
+		case wl.name == "rbtree":
+			plain = &wl
+		}
+	}
+	if evict == nil {
+		t.Fatal("no htmdesign workload carries the evict fault profile")
+	}
+	if plain == nil {
+		t.Fatal("no unfaulted rbtree workload")
+	}
+	a := htmDesignCfg(2, plain.memWords, o.Seed, "rock", plain.faults)
+	b := htmDesignCfg(2, evict.memWords, o.Seed, "rock", evict.faults)
+	if a.Digest() == b.Digest() {
+		t.Fatalf("evict-faulted cell shares config digest %s with the unfaulted cell", a.Digest())
+	}
+	if !b.Faults.Enabled() {
+		t.Fatal("evict workload's config carries no enabled fault plan")
 	}
 }

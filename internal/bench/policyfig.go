@@ -75,7 +75,7 @@ func runPolicyCell(o Options, polName, profile string, threads int) (Point, erro
 
 // PolicyFigure produces the policy × fault-profile ablation table: every
 // built-in retry policy (naive, paper, adaptive) crossed with every named
-// fault profile (none, interrupts, tlb, inval, squeeze), each swept
+// fault profile (none, interrupts, tlb, inval, evict, squeeze), each swept
 // across the thread axis. One column per (policy, profile) pair.
 //
 // The interesting comparisons, and what Section 6.1 predicts:

@@ -12,13 +12,13 @@ import (
 )
 
 // policyGoldenDigest pins the rendered bytes of a small policy-ablation
-// matrix (3 policies × 5 fault profiles × 2 thread counts) under a fixed
+// matrix (3 policies × 6 fault profiles × 2 thread counts) under a fixed
 // seed: the policy engine's decisions, the fault injector's schedule and
 // the runner-pool merge must all replay bit-for-bit. Regenerate (only for
 // an intended policy or fault-model change) with:
 //
 //	BENCH_GOLDEN_REGEN=1 go test ./internal/bench -run TestPolicyFigure
-const policyGoldenDigest = "f45476c7f02a1677d27cc3ad0ca9c858"
+const policyGoldenDigest = "674c8ee536efea0c78911d68cd97e87f"
 
 func renderPolicyFigure(o Options) ([]byte, error) {
 	f, err := PolicyFigure(o)

@@ -159,11 +159,7 @@ const (
 // found effective against requester-wins livelock under contention
 // (Section 4).
 func Backoff(s *sim.Strand, attempt int) {
-	if attempt > 7 {
-		attempt = 7
-	}
-	window := int64(32) << uint(attempt)
-	s.Advance(16 + int64(s.Rand()%uint64(window)))
+	s.Advance(BackoffDelay(s, attempt))
 }
 
 // Setup is a zero-cost Ctx over raw memory for pre-run prepopulation and

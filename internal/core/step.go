@@ -1,0 +1,325 @@
+// Continuation-machine execution support (sim.RunStepped).
+//
+// Under the continuation driver a strand cannot suspend mid-stack: a
+// simulated operation interrupted by a pending yield bails out before any
+// side effect and control must return to the driver loop through ordinary
+// returns. System code (attempt loops, commit protocols, spins) converts
+// its yield points into explicit continuation states; opaque atomic-block
+// *bodies* — pure functions of the values their Ctx returns — run against
+// an OpLog journal. When an operation inside a body is interrupted, the
+// journal switches to bailed mode: every subsequent journaled operation
+// returns zero without touching the simulator, the body runs to its
+// ordinary end (its control flow is poison-terminating: any backward
+// branch exits once every operation yields zero — true of pointer-walk
+// and fixup kernels, whose loops follow null links or test a color bit),
+// and the attempt machine observes Bailed, yields, and re-runs the body:
+// journaled operations are served from the log (no simulated work,
+// host-side bookkeeping redone deterministically) and live execution
+// resumes at exactly the interrupted operation. The bail flag replaced a
+// panic-based unwind (YieldSignal) whose runtime cost — one
+// gopanic/recover per quantum expiry inside a body — dominated the stepped
+// hot path. Both drivers reproduce the same cycles, RNG draws and
+// scheduling decisions exactly (pinned by the differential golden tests).
+package core
+
+import "rocktm/internal/sim"
+
+// YieldSignal unwinds an atomic-block body when a simulated operation
+// inside it was interrupted by a pending yield under the continuation
+// driver and the interrupted path has no OpLog to bail through (rock.Txn
+// methods invoked outside a journaling context). Attempt machines recover
+// it at the body boundary as a backstop; the journaled hot paths bail
+// through OpLog.Bail instead and never pay the panic.
+type YieldSignal struct{}
+
+// StepBlock is a resumable atomic block. Step runs the block forward until
+// it either takes effect (true) or the strand must yield (false, with the
+// strand's YieldPending set); the driver re-invokes Step after granting
+// the strand the baton again. A StepBlock is single-use: once Step returns
+// true it must not be invoked again (obtain a fresh block instead).
+type StepBlock interface {
+	Step() bool
+}
+
+// StepSystem is implemented by systems whose atomic blocks can run as
+// continuation machines under sim.RunStepped. StepAtomic returns a
+// resumable execution of body on s (ro marks read-only blocks, the
+// AtomicRO hint); the returned block performs the identical sequence of
+// simulated operations Atomic/AtomicRO would. Implementations reuse one
+// block per strand, so a strand must finish (or abandon the machine
+// entirely) before starting its next block.
+type StepSystem interface {
+	System
+	StepAtomic(s *sim.Strand, body func(Ctx), ro bool) StepBlock
+}
+
+// opEntry journals one completed simulated operation's results: w for
+// value-returning operations (loads, adds), b for success flags.
+type opEntry struct {
+	w sim.Word
+	b bool
+}
+
+// OpLog journals the yieldable simulated operations an atomic-block body
+// performed through its Ctx during one attempt. When an operation is
+// interrupted by a pending yield the log bails: the interrupted operation
+// and every subsequent one return zero without simulated work, the body
+// runs to its ordinary end, and the attempt machine (seeing Bailed)
+// yields, rewinds the log and re-runs the body: journaled operations are
+// served from the log (no simulated work, host-side bookkeeping redone
+// deterministically), and live execution resumes at exactly the
+// interrupted operation. Reset starts a fresh attempt's journal.
+type OpLog struct {
+	ents   []opEntry
+	pos    int
+	bailed bool
+}
+
+// Reset discards the journal (a new attempt begins).
+func (l *OpLog) Reset() { l.ents = l.ents[:0]; l.pos = 0; l.bailed = false }
+
+// Rewind restarts replay from the journal's beginning (the body is about
+// to re-run after a yield).
+func (l *OpLog) Rewind() { l.pos = 0; l.bailed = false }
+
+// Bail switches the log to bailed mode: every subsequent journaled
+// operation returns zero without touching the simulator. Ctx
+// implementations journaling through their own Record/Next calls use it
+// when a live operation is interrupted by a pending yield.
+func (l *OpLog) Bail() { l.bailed = true }
+
+// Bailed reports whether the current body run was interrupted: the body's
+// remaining operations were poisoned to zero and the attempt machine must
+// yield and re-run the body after the next grant.
+func (l *OpLog) Bailed() bool { return l.bailed }
+
+// Replaying reports whether the next operation is served from the journal.
+func (l *OpLog) Replaying() bool { return l.pos < len(l.ents) }
+
+// Record appends a completed operation's results and advances the cursor
+// past them.
+func (l *OpLog) Record(w sim.Word, b bool) {
+	l.ents = append(l.ents, opEntry{w, b})
+	l.pos = len(l.ents)
+}
+
+// Next serves the next journaled operation's results.
+func (l *OpLog) Next() (sim.Word, bool) {
+	e := l.ents[l.pos]
+	l.pos++
+	return e.w, e.b
+}
+
+// Advance charges n cycles through the journal: served as a no-op during
+// replay, recorded once performed, bailed when interrupted.
+func (l *OpLog) Advance(s *sim.Strand, n int64) {
+	if l.bailed {
+		return
+	}
+	if l.Replaying() {
+		l.Next()
+		return
+	}
+	s.Advance(n)
+	if s.YieldPending() {
+		l.bailed = true
+		return
+	}
+	l.Record(0, false)
+}
+
+// Load performs a journaled plain load.
+func (l *OpLog) Load(s *sim.Strand, a sim.Addr) sim.Word {
+	if l.bailed {
+		return 0
+	}
+	if l.Replaying() {
+		w, _ := l.Next()
+		return w
+	}
+	w := s.Load(a)
+	if s.YieldPending() {
+		l.bailed = true
+		return 0
+	}
+	l.Record(w, false)
+	return w
+}
+
+// Store performs a journaled plain store.
+func (l *OpLog) Store(s *sim.Strand, a sim.Addr, w sim.Word) {
+	if l.bailed {
+		return
+	}
+	if l.Replaying() {
+		l.Next()
+		return
+	}
+	s.Store(a, w)
+	if s.YieldPending() {
+		l.bailed = true
+		return
+	}
+	l.Record(0, false)
+}
+
+// Add performs a journaled atomic add.
+func (l *OpLog) Add(s *sim.Strand, a sim.Addr, delta sim.Word) sim.Word {
+	if l.bailed {
+		return 0
+	}
+	if l.Replaying() {
+		w, _ := l.Next()
+		return w
+	}
+	w := s.Add(a, delta)
+	if s.YieldPending() {
+		l.bailed = true
+		return 0
+	}
+	l.Record(w, false)
+	return w
+}
+
+// CAS performs a journaled compare-and-swap.
+func (l *OpLog) CAS(s *sim.Strand, a sim.Addr, old, new sim.Word) (sim.Word, bool) {
+	if l.bailed {
+		return 0, false
+	}
+	if l.Replaying() {
+		return l.Next()
+	}
+	w, ok := s.CAS(a, old, new)
+	if s.YieldPending() {
+		l.bailed = true
+		return 0, false
+	}
+	l.Record(w, ok)
+	return w, ok
+}
+
+// Branch performs a journaled branch.
+func (l *OpLog) Branch(s *sim.Strand, pc uint32, taken bool) {
+	if l.bailed {
+		return
+	}
+	if l.Replaying() {
+		l.Next()
+		return
+	}
+	s.Branch(pc, taken)
+	if s.YieldPending() {
+		l.bailed = true
+		return
+	}
+	l.Record(0, false)
+}
+
+// BackoffDelay draws the randomized exponential delay Backoff would charge
+// for the given retry attempt (0-based). Splitting the draw from the
+// Advance lets a continuation machine charge the delay resumably while
+// consuming the randomness exactly once; Backoff(s, n) ≡
+// s.Advance(BackoffDelay(s, n)), draw-for-draw.
+func BackoffDelay(s *sim.Strand, attempt int) int64 {
+	if attempt > 7 {
+		attempt = 7
+	}
+	window := int64(32) << uint(attempt)
+	return 16 + int64(s.Rand()%uint64(window))
+}
+
+// StepRaw is Raw with its operations journaled: the execution context of
+// an atomic-block body run under a held lock (or any other non-speculative
+// step path), where a yield mid-body bails the journal and the re-run
+// replays from it.
+type StepRaw struct {
+	S   *sim.Strand
+	Log *OpLog
+}
+
+// Load implements Ctx.
+func (r StepRaw) Load(a sim.Addr) sim.Word { return r.Log.Load(r.S, a) }
+
+// Store implements Ctx.
+func (r StepRaw) Store(a sim.Addr, w sim.Word) { r.Log.Store(r.S, a, w) }
+
+// Branch implements Ctx.
+func (r StepRaw) Branch(pc uint32, taken bool, _ bool) { r.Log.Branch(r.S, pc, taken) }
+
+// Div implements Ctx.
+func (r StepRaw) Div() { r.Log.Advance(r.S, DivCost) }
+
+// Call implements Ctx.
+func (r StepRaw) Call() { r.Log.Advance(r.S, CallCost) }
+
+// Strand implements Ctx.
+func (r StepRaw) Strand() *sim.Strand { return r.S }
+
+// StepBackoff charges Backoff's randomized delay resumably: the first Step
+// of a pending delay draws it (consuming randomness exactly once); each
+// re-invocation after a yield re-charges the same delay. It reports whether
+// the delay completed.
+type StepBackoff struct {
+	delay int64
+	armed bool
+}
+
+// Step charges the delay for the given retry attempt; false means the
+// strand must yield and re-invoke.
+func (b *StepBackoff) Step(s *sim.Strand, attempt int) bool {
+	if !b.armed {
+		b.delay = BackoffDelay(s, attempt)
+		b.armed = true
+	}
+	s.Advance(b.delay)
+	if s.YieldPending() {
+		return false
+	}
+	b.armed = false
+	return true
+}
+
+// RunJournaled executes one journaled run of a non-speculative body over
+// log l, reporting false when the body was interrupted by a pending yield
+// (the log bailed) and must re-run after the strand yields.
+func RunJournaled(l *OpLog, run func()) (completed bool) {
+	run()
+	return !l.Bailed()
+}
+
+// PerStrand lazily caches one T per strand ID — the allocation pattern for
+// reusable per-strand continuation machines.
+type PerStrand[T any] struct {
+	v []*T
+}
+
+// Get returns strand id's cached value, allocating it on first use.
+func (p *PerStrand[T]) Get(id int) *T {
+	for len(p.v) <= id {
+		p.v = append(p.v, nil)
+	}
+	if p.v[id] == nil {
+		p.v[id] = new(T)
+	}
+	return p.v[id]
+}
+
+// StepCapable lets a StepSystem veto stepped execution for configurations
+// its continuation machines do not cover (callers fall back to the
+// coroutine driver when CanStep reports false). Systems without the
+// interface step whenever they implement StepSystem.
+type StepCapable interface {
+	CanStep() bool
+}
+
+// CanStep reports whether sys can run atomic blocks as continuation
+// machines in its current configuration.
+func CanStep(sys System) bool {
+	if _, ok := sys.(StepSystem); !ok {
+		return false
+	}
+	if c, ok := sys.(StepCapable); ok {
+		return c.CanStep()
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+// Continuation-machine execution (sim.RunStepped) for HyTM: the hardware
+// attempt loop becomes an explicit state machine (rock.StepTry over the
+// journaled instrumented context, policy backoff delays as resumable
+// charges) and the software fallback chains into the back end's own step
+// block. Operation sequences are op-for-op identical to the coroutine path.
+package hytm
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/policy"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm"
+)
+
+// hyStep phases.
+const (
+	hyAttemptTop uint8 = iota
+	hyTry
+	hyDelay
+	hyFallback
+)
+
+// hyStep is one HyTM atomic block as a continuation machine.
+type hyStep struct {
+	h    *System
+	s    *sim.Strand
+	sb   stm.StepHybridSTM
+	body func(core.Ctx)
+	ro   bool
+	run  func()
+
+	phase uint8
+	eng   policy.Engine
+	try   rock.StepTry
+	log   core.OpLog
+	back  core.StepBackoff
+
+	nextAct  policy.Action
+	delayAtt int
+	sub      core.StepBlock
+}
+
+// Step implements core.StepBlock.
+func (b *hyStep) Step() bool {
+	s, st := b.s, b.h.stats
+	for {
+		switch b.phase {
+		case hyAttemptTop:
+			st.HWAttempts++
+			b.try.Arm(0, false)
+			b.phase = hyTry
+		case hyTry:
+			done, committed, c := b.try.Step()
+			if !done {
+				return false
+			}
+			if committed {
+				st.HWCommits++
+				st.Ops++
+				b.eng.OnCommit()
+				return true
+			}
+			st.RecordFailure(c)
+			act, delayAtt, delay := b.eng.DecideFailure(c)
+			b.nextAct, b.delayAtt = act, delayAtt
+			if delay {
+				b.phase = hyDelay
+			} else {
+				b.dispatchAct()
+			}
+		case hyDelay:
+			if !b.back.Step(s, b.delayAtt) {
+				return false
+			}
+			b.dispatchAct()
+		default: // hyFallback
+			return b.sub.Step()
+		}
+	}
+}
+
+// dispatchAct routes a policy verdict to its phase, mirroring the
+// coroutine loop: Fallback (or a Wait with the budget spent) arms the
+// software fallback, anything else retries.
+func (b *hyStep) dispatchAct() {
+	fall := b.nextAct == policy.Fallback ||
+		(b.nextAct == policy.Wait && b.eng.Exhausted())
+	if !fall {
+		b.phase = hyAttemptTop
+		return
+	}
+	b.eng.OnFallback()
+	b.s.TraceEvent(obs.EvFallback, 0)
+	b.sub = b.sb.StepAtomic(b.s, b.body, b.ro)
+	b.phase = hyFallback
+}
+
+// CanStep implements core.StepCapable: stepping needs a back end whose
+// instrumented context journals and whose blocks step.
+func (h *System) CanStep() bool {
+	_, ok := h.back.(stm.StepHybridSTM)
+	return ok
+}
+
+// StepAtomic implements core.StepSystem.
+func (h *System) StepAtomic(s *sim.Strand, body func(core.Ctx), ro bool) core.StepBlock {
+	b := h.steps.Get(s.ID())
+	if b.run == nil {
+		b.h, b.s = h, s
+		b.sb = h.back.(stm.StepHybridSTM)
+		b.run = func() { b.body(b.sb.StepHWCtx(rock.On(b.s), &b.log)) }
+		b.try.Init(s, &b.log, b.run)
+	}
+	b.body, b.ro = body, ro
+	b.phase = hyAttemptTop
+	h.stats.HWBlocks++
+	b.eng = policy.Start(h.pol, 0)
+	return b
+}
+
+var _ core.StepSystem = (*System)(nil)
+var _ core.StepCapable = (*System)(nil)

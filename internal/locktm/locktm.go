@@ -129,6 +129,7 @@ func (l *RWLock) ReleaseRead(s *sim.Strand) {
 type OneLock struct {
 	lock  *SpinLock
 	stats *core.Stats
+	steps core.PerStrand[oneLockStep]
 }
 
 // NewOneLock builds the system over machine m.
@@ -162,6 +163,7 @@ func (o *OneLock) Stats() *core.Stats { return o.stats }
 type RW struct {
 	lock  *RWLock
 	stats *core.Stats
+	steps core.PerStrand[rwStep]
 }
 
 // NewRW builds the system over machine m.
@@ -201,6 +203,7 @@ func (r *RW) Stats() *core.Stats { return r.stats }
 // threaded.
 type Seq struct {
 	stats *core.Stats
+	steps core.PerStrand[seqStep]
 }
 
 // NewSeq builds the sequential baseline.

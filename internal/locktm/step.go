@@ -1,0 +1,325 @@
+// Continuation-machine execution (sim.RunStepped) for the lock-based
+// systems: spin acquisitions become explicit state machines (each lock-word
+// load, CAS and backoff delay is a resume point), lock-protected bodies run
+// under core.StepRaw with an OpLog for re-runs, and OneLock/RW/Seq
+// implement core.StepSystem. The simulated-operation sequences are
+// op-for-op identical to the coroutine paths.
+package locktm
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/sim"
+)
+
+// SpinAcquire is SpinLock.Acquire as a continuation machine.
+type SpinAcquire struct {
+	attempt int
+	st      uint8 // 0: load, 1: CAS, 2: backoff
+	back    core.StepBackoff
+}
+
+// Arm resets the machine for a fresh acquisition.
+func (a *SpinAcquire) Arm() { *a = SpinAcquire{} }
+
+// Step advances the acquisition; false means the strand must yield.
+func (a *SpinAcquire) Step(s *sim.Strand, l *SpinLock) bool {
+	for {
+		switch a.st {
+		case 0:
+			w := s.Load(l.addr)
+			if s.YieldPending() {
+				return false
+			}
+			if w == 0 {
+				a.st = 1
+			} else {
+				a.st = 2
+			}
+		case 1:
+			_, ok := s.CAS(l.addr, 0, 1)
+			if s.YieldPending() {
+				return false
+			}
+			if ok {
+				s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
+				return true
+			}
+			a.st = 2
+		default:
+			if !a.back.Step(s, a.attempt) {
+				return false
+			}
+			a.attempt++
+			a.st = 0
+		}
+	}
+}
+
+// StepRelease is Release with the store's yield surfaced; false means the
+// strand must yield and re-invoke.
+func (l *SpinLock) StepRelease(s *sim.Strand) bool {
+	s.Store(l.addr, 0)
+	if s.YieldPending() {
+		return false
+	}
+	s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
+	return true
+}
+
+// RWAcquire is AcquireWrite/AcquireRead as a continuation machine; write
+// selects the exclusive path.
+type RWAcquire struct {
+	write   bool
+	attempt int
+	st      uint8 // 0: load, 1: CAS, 2: backoff
+	cur     sim.Word
+	back    core.StepBackoff
+}
+
+// Arm resets the machine for a fresh acquisition.
+func (a *RWAcquire) Arm(write bool) { *a = RWAcquire{write: write} }
+
+// Step advances the acquisition; false means the strand must yield.
+func (a *RWAcquire) Step(s *sim.Strand, l *RWLock) bool {
+	for {
+		switch a.st {
+		case 0:
+			cur := s.Load(l.addr)
+			if s.YieldPending() {
+				return false
+			}
+			a.cur = cur
+			ready := cur == 0
+			if !a.write {
+				ready = cur&rwWriter == 0
+			}
+			if ready {
+				a.st = 1
+			} else {
+				a.st = 2
+			}
+		case 1:
+			next := sim.Word(rwWriter)
+			if !a.write {
+				next = a.cur + 2
+			}
+			_, ok := s.CAS(l.addr, a.cur, next)
+			if s.YieldPending() {
+				return false
+			}
+			if ok {
+				s.TraceEvent(obs.EvLockAcquire, uint64(l.addr))
+				return true
+			}
+			a.st = 2
+		default:
+			if !a.back.Step(s, a.attempt) {
+				return false
+			}
+			a.attempt++
+			a.st = 0
+		}
+	}
+}
+
+// StepReleaseWrite is ReleaseWrite with the store's yield surfaced.
+func (l *RWLock) StepReleaseWrite(s *sim.Strand) bool {
+	s.Store(l.addr, 0)
+	if s.YieldPending() {
+		return false
+	}
+	s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
+	return true
+}
+
+// RWRelease is ReleaseRead as a continuation machine (the shared count is
+// dropped with a load/CAS loop).
+type RWRelease struct {
+	st  uint8 // 0: load, 1: CAS
+	cur sim.Word
+}
+
+// Arm resets the machine for a fresh release.
+func (a *RWRelease) Arm() { *a = RWRelease{} }
+
+// Step advances the release; false means the strand must yield.
+func (a *RWRelease) Step(s *sim.Strand, l *RWLock) bool {
+	for {
+		if a.st == 0 {
+			cur := s.Load(l.addr)
+			if s.YieldPending() {
+				return false
+			}
+			a.cur = cur
+			a.st = 1
+		}
+		_, ok := s.CAS(l.addr, a.cur, a.cur-2)
+		if s.YieldPending() {
+			return false
+		}
+		if ok {
+			s.TraceEvent(obs.EvLockRelease, uint64(l.addr))
+			return true
+		}
+		a.st = 0
+	}
+}
+
+// oneLockStep is one OneLock atomic block as a continuation machine:
+// acquire → journaled body → release.
+type oneLockStep struct {
+	o     *OneLock
+	s     *sim.Strand
+	body  func(core.Ctx)
+	run   func()
+	ctx   core.Ctx // StepRaw, boxed once (a two-word ctx allocates per conversion)
+	log   core.OpLog
+	acq   SpinAcquire
+	phase uint8
+}
+
+// Step implements core.StepBlock.
+func (b *oneLockStep) Step() bool {
+	for {
+		switch b.phase {
+		case 0:
+			if !b.acq.Step(b.s, b.o.lock) {
+				return false
+			}
+			b.log.Reset()
+			b.phase = 1
+		case 1:
+			b.log.Rewind()
+			if !core.RunJournaled(&b.log, b.run) {
+				return false
+			}
+			b.phase = 2
+		default:
+			if !b.o.lock.StepRelease(b.s) {
+				return false
+			}
+			b.o.stats.Ops++
+			b.o.stats.LockAcquires++
+			return true
+		}
+	}
+}
+
+// StepAtomic implements core.StepSystem.
+func (o *OneLock) StepAtomic(s *sim.Strand, body func(core.Ctx), _ bool) core.StepBlock {
+	b := o.steps.Get(s.ID())
+	if b.run == nil {
+		b.o, b.s = o, s
+		b.ctx = core.StepRaw{S: s, Log: &b.log}
+		b.run = func() { b.body(b.ctx) }
+	}
+	b.body = body
+	b.phase = 0
+	b.acq.Arm()
+	return b
+}
+
+// rwStep is one RW atomic block as a continuation machine.
+type rwStep struct {
+	r     *RW
+	s     *sim.Strand
+	ro    bool
+	body  func(core.Ctx)
+	run   func()
+	ctx   core.Ctx // StepRaw, boxed once
+	log   core.OpLog
+	acq   RWAcquire
+	rel   RWRelease
+	phase uint8
+}
+
+// Step implements core.StepBlock.
+func (b *rwStep) Step() bool {
+	for {
+		switch b.phase {
+		case 0:
+			if !b.acq.Step(b.s, b.r.lock) {
+				return false
+			}
+			b.log.Reset()
+			b.phase = 1
+		case 1:
+			b.log.Rewind()
+			if !core.RunJournaled(&b.log, b.run) {
+				return false
+			}
+			b.phase = 2
+		default:
+			if b.ro {
+				if !b.rel.Step(b.s, b.r.lock) {
+					return false
+				}
+				b.r.stats.Ops++
+				b.r.stats.ROFast++
+			} else {
+				if !b.r.lock.StepReleaseWrite(b.s) {
+					return false
+				}
+				b.r.stats.Ops++
+				b.r.stats.LockAcquires++
+			}
+			return true
+		}
+	}
+}
+
+// StepAtomic implements core.StepSystem.
+func (r *RW) StepAtomic(s *sim.Strand, body func(core.Ctx), ro bool) core.StepBlock {
+	b := r.steps.Get(s.ID())
+	if b.run == nil {
+		b.r, b.s = r, s
+		b.ctx = core.StepRaw{S: s, Log: &b.log}
+		b.run = func() { b.body(b.ctx) }
+	}
+	b.body, b.ro = body, ro
+	b.phase = 0
+	b.acq.Arm(!ro)
+	b.rel.Arm()
+	return b
+}
+
+// seqStep is one Seq atomic block as a continuation machine (just the
+// journaled body).
+type seqStep struct {
+	q    *Seq
+	s    *sim.Strand
+	body func(core.Ctx)
+	run  func()
+	ctx  core.Ctx // StepRaw, boxed once
+	log  core.OpLog
+}
+
+// Step implements core.StepBlock.
+func (b *seqStep) Step() bool {
+	b.log.Rewind()
+	if !core.RunJournaled(&b.log, b.run) {
+		return false
+	}
+	b.q.stats.Ops++
+	return true
+}
+
+// StepAtomic implements core.StepSystem.
+func (q *Seq) StepAtomic(s *sim.Strand, body func(core.Ctx), _ bool) core.StepBlock {
+	b := q.steps.Get(s.ID())
+	if b.run == nil {
+		b.q, b.s = q, s
+		b.ctx = core.StepRaw{S: s, Log: &b.log}
+		b.run = func() { b.body(b.ctx) }
+	}
+	b.body = body
+	b.log.Reset()
+	return b
+}
+
+var (
+	_ core.StepSystem = (*OneLock)(nil)
+	_ core.StepSystem = (*RW)(nil)
+	_ core.StepSystem = (*Seq)(nil)
+)

@@ -1,0 +1,225 @@
+// Continuation-machine execution (sim.RunStepped) for PhTM: the phase
+// probe, the uninstrumented hardware attempt loop (rock.StepTry with the
+// software-straggler guard), the straggler wait spin and the software
+// phase's announce/run/withdraw/drift sequence all become explicit
+// continuation states. Operation sequences are op-for-op identical to the
+// coroutine path.
+package phtm
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/policy"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+)
+
+// phStep phases.
+const (
+	phStart uint8 = iota
+	phAttemptTop
+	phTry
+	phDelay
+	phWaitCount
+	phWaitMode
+	phWaitBack
+	phWaitPost
+	phTrigger
+	phSWEnter
+	phSWBody
+	phSWExit
+	phSWMode
+	phSWModeCAS
+)
+
+// phStep is one PhTM atomic block as a continuation machine.
+type phStep struct {
+	p    *System
+	s    *sim.Strand
+	body func(core.Ctx)
+	ro   bool
+	run  func()
+	ctx  core.Ctx // rock.StepCtx, boxed once (a two-word ctx allocates per conversion)
+
+	phase uint8
+	eng   policy.Engine
+	try   rock.StepTry
+	log   core.OpLog
+	back  core.StepBackoff
+	wback core.StepBackoff
+
+	nextAct  policy.Action
+	delayAtt int
+	spin     int
+	mode     sim.Word
+	sub      core.StepBlock
+}
+
+// Step implements core.StepBlock.
+func (b *phStep) Step() bool {
+	p, s, st := b.p, b.s, b.p.stats
+	for {
+		switch b.phase {
+		case phStart:
+			w := s.Load(p.swMode)
+			if s.YieldPending() {
+				return false
+			}
+			if w == 0 {
+				st.HWBlocks++
+				b.eng = policy.Start(p.pol, 0)
+				b.phase = phAttemptTop
+			} else {
+				b.phase = phSWEnter
+			}
+		case phAttemptTop:
+			st.HWAttempts++
+			b.try.Arm(p.swCount, true)
+			b.phase = phTry
+		case phTry:
+			done, committed, c := b.try.Step()
+			if !done {
+				return false
+			}
+			if committed {
+				st.HWCommits++
+				st.Ops++
+				b.eng.OnCommit()
+				return true
+			}
+			st.RecordFailure(c)
+			act, delayAtt, delay := b.eng.DecideFailure(c)
+			b.nextAct, b.delayAtt = act, delayAtt
+			if delay {
+				b.phase = phDelay
+			} else {
+				b.dispatchAct()
+			}
+		case phDelay:
+			if !b.back.Step(s, b.delayAtt) {
+				return false
+			}
+			b.dispatchAct()
+		case phWaitCount:
+			w := s.Load(p.swCount)
+			if s.YieldPending() {
+				return false
+			}
+			if w == 0 {
+				b.phase = phWaitPost
+			} else {
+				b.phase = phWaitMode
+			}
+		case phWaitMode:
+			w := s.Load(p.swMode)
+			if s.YieldPending() {
+				return false
+			}
+			if w != 0 {
+				b.phase = phWaitPost
+			} else {
+				b.phase = phWaitBack
+			}
+		case phWaitBack:
+			if !b.wback.Step(s, b.spin) {
+				return false
+			}
+			b.spin++
+			b.phase = phWaitCount
+		case phWaitPost:
+			w := s.Load(p.swMode)
+			if s.YieldPending() {
+				return false
+			}
+			if w != 0 || b.eng.Exhausted() {
+				b.eng.OnFallback()
+				b.phase = phTrigger
+			} else {
+				b.phase = phAttemptTop
+			}
+		case phTrigger:
+			s.Store(p.swMode, p.cfg.SWHold)
+			if s.YieldPending() {
+				return false
+			}
+			s.TraceEvent(obs.EvModeSoftware, uint64(p.cfg.SWHold))
+			s.TraceEvent(obs.EvFallback, 0)
+			b.phase = phSWEnter
+		case phSWEnter:
+			s.Add(p.swCount, 1)
+			if s.YieldPending() {
+				return false
+			}
+			b.sub = p.back.(core.StepSystem).StepAtomic(s, b.body, b.ro)
+			b.phase = phSWBody
+		case phSWBody:
+			if !b.sub.Step() {
+				return false
+			}
+			b.phase = phSWExit
+		case phSWExit:
+			s.Add(p.swCount, ^sim.Word(0))
+			if s.YieldPending() {
+				return false
+			}
+			b.phase = phSWMode
+		case phSWMode:
+			mode := s.Load(p.swMode)
+			if s.YieldPending() {
+				return false
+			}
+			if mode > 0 {
+				b.mode = mode
+				b.phase = phSWModeCAS
+			} else {
+				return true
+			}
+		default: // phSWModeCAS
+			_, ok := s.CAS(p.swMode, b.mode, b.mode-1)
+			if s.YieldPending() {
+				return false
+			}
+			if ok && b.mode == 1 {
+				s.TraceEvent(obs.EvModeHardware, 0)
+			}
+			return true
+		}
+	}
+}
+
+// dispatchAct routes a policy verdict to its phase, mirroring the
+// coroutine loop: Wait enters the software-straggler spin, Fallback
+// triggers the software phase, anything else retries.
+func (b *phStep) dispatchAct() {
+	switch b.nextAct {
+	case policy.Wait:
+		b.spin = 0
+		b.phase = phWaitCount
+	case policy.Fallback:
+		b.eng.OnFallback()
+		b.phase = phTrigger
+	default:
+		b.phase = phAttemptTop
+	}
+}
+
+// CanStep implements core.StepCapable: stepping needs a back end whose
+// blocks step.
+func (p *System) CanStep() bool { return core.CanStep(p.back) }
+
+// StepAtomic implements core.StepSystem.
+func (p *System) StepAtomic(s *sim.Strand, body func(core.Ctx), ro bool) core.StepBlock {
+	b := p.steps.Get(s.ID())
+	if b.run == nil {
+		b.p, b.s = p, s
+		b.ctx = rock.StepCtx{T: rock.On(s), Log: &b.log}
+		b.run = func() { b.body(b.ctx) }
+		b.try.Init(s, &b.log, b.run)
+	}
+	b.body, b.ro = body, ro
+	b.phase = phStart
+	return b
+}
+
+var _ core.StepSystem = (*System)(nil)
+var _ core.StepCapable = (*System)(nil)

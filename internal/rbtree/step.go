@@ -1,0 +1,147 @@
+// Continuation-machine sessions (sim.RunStepped): each complete operation —
+// node allocation, pre-transaction initialization stores, the atomic block,
+// post-transaction reclamation — becomes an explicit state machine over the
+// system's core.StepBlock. The simulated-operation sequence is op-for-op
+// identical to the coroutine Session methods.
+package rbtree
+
+import (
+	"rocktm/internal/alloc"
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// Operation kinds.
+const (
+	opLookup uint8 = iota
+	opInsert
+	opDelete
+)
+
+// opStep states.
+const (
+	osGet uint8 = iota
+	osInit
+	osBlock
+	osPut
+)
+
+// opStep is one session operation as a continuation machine.
+type opStep struct {
+	ss   *Session
+	sys  core.StepSystem
+	kind uint8
+	st   uint8
+	fi   int
+	val  sim.Word
+	get  alloc.GetStep
+	put  alloc.PutStep
+	sub  core.StepBlock
+}
+
+// initField returns insert's fi-th pre-transaction initialization store.
+func (o *opStep) initField() (sim.Addr, sim.Word) {
+	switch o.fi {
+	case 0:
+		return o.ss.node + fKey, o.ss.key
+	case 1:
+		return o.ss.node + fVal, o.val
+	case 2:
+		return o.ss.node + fLeft, 0
+	case 3:
+		return o.ss.node + fRight, 0
+	default:
+		return o.ss.node + fColor, 1
+	}
+}
+
+// Step implements core.StepBlock.
+func (o *opStep) Step() bool {
+	ss := o.ss
+	s := ss.s
+	for {
+		switch o.st {
+		case osGet:
+			if !o.get.Step(s, ss.t.pool) {
+				return false
+			}
+			ss.node = o.get.Addr()
+			o.fi = 0
+			o.st = osInit
+		case osInit:
+			for o.fi < 5 {
+				a, v := o.initField()
+				s.Store(a, v)
+				if s.YieldPending() {
+					return false
+				}
+				o.fi++
+			}
+			ss.inserted = false
+			o.sub = o.sys.StepAtomic(s, ss.insertFn, false)
+			o.st = osBlock
+		case osBlock:
+			if !o.sub.Step() {
+				return false
+			}
+			switch o.kind {
+			case opLookup:
+				return true
+			case opInsert:
+				reclaim := sim.Addr(0)
+				if !ss.inserted {
+					reclaim = ss.node
+				}
+				o.put.Arm(reclaim)
+			default:
+				o.put.Arm(ss.removed)
+			}
+			o.st = osPut
+		default: // osPut
+			if !o.put.Step(s, ss.t.pool) {
+				return false
+			}
+			return true
+		}
+	}
+}
+
+// stepFor lazily builds the session's reusable operation machine; it
+// requires (and asserts) a system with a continuation-machine face.
+func (ss *Session) stepFor() *opStep {
+	if ss.step == nil {
+		ss.step = &opStep{ss: ss, sys: ss.sys.(core.StepSystem)}
+	}
+	return ss.step
+}
+
+// StepLookup arms Lookup as a continuation machine. The result lands in the
+// session's fields once the block finishes (as with the coroutine methods,
+// at most one operation per session is in flight).
+func (ss *Session) StepLookup(key uint64) core.StepBlock {
+	o := ss.stepFor()
+	ss.key = key
+	o.kind, o.st = opLookup, osBlock
+	o.sub = o.sys.StepAtomic(ss.s, ss.lookupFn, true)
+	return o
+}
+
+// StepInsert arms Insert as a continuation machine.
+func (ss *Session) StepInsert(key uint64, val sim.Word) core.StepBlock {
+	o := ss.stepFor()
+	ss.key = key
+	o.val = val
+	o.kind, o.st = opInsert, osGet
+	o.get.Arm()
+	return o
+}
+
+// StepDelete arms Delete as a continuation machine.
+func (ss *Session) StepDelete(key uint64) core.StepBlock {
+	o := ss.stepFor()
+	ss.key = key
+	ss.removed = 0
+	o.kind, o.st = opDelete, osBlock
+	o.sub = o.sys.StepAtomic(ss.s, ss.deleteFn, false)
+	return o
+}

@@ -1,0 +1,232 @@
+// Continuation-machine execution of hardware transaction attempts
+// (sim.RunStepped). StepCtx journals a body's transactional operations so a
+// yield-interrupted body can re-run against its core.OpLog; StepTry is Try
+// with every yield point (checkpoint, guard probe, body operation, commit)
+// surfaced as a continuation state instead of a deep-stack coroutine yield.
+package rock
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/sim"
+)
+
+// StepCtx is Ctx with its operations journaled for body re-runs under the
+// continuation driver. Live operations perform the transactional
+// instruction and are recorded; during replay they are served from the log
+// without touching the simulator. A pending yield bails the log — the
+// interrupted and all subsequent operations return zero, the body runs to
+// its (poison-terminating) end, and the attempt machine yields — while a
+// real abort still unwinds with the txFailed panic, exactly as on the
+// coroutine path.
+type StepCtx struct {
+	T   Txn
+	Log *core.OpLog
+}
+
+var _ core.Ctx = StepCtx{}
+
+// Load implements core.Ctx.
+func (c StepCtx) Load(a sim.Addr) sim.Word {
+	l := c.Log
+	if l.Bailed() {
+		return 0
+	}
+	if l.Replaying() {
+		w, _ := l.Next()
+		return w
+	}
+	w, ok := c.T.s.TxLoad(a)
+	if !ok {
+		c.T.bailOrFail(l)
+		return 0
+	}
+	l.Record(w, false)
+	return w
+}
+
+// Store implements core.Ctx.
+func (c StepCtx) Store(a sim.Addr, w sim.Word) {
+	l := c.Log
+	if l.Bailed() {
+		return
+	}
+	if l.Replaying() {
+		l.Next()
+		return
+	}
+	if !c.T.s.TxStore(a, w) {
+		c.T.bailOrFail(l)
+		return
+	}
+	l.Record(0, false)
+}
+
+// Branch implements core.Ctx.
+func (c StepCtx) Branch(pc uint32, taken bool, dependsOnLoad bool) {
+	l := c.Log
+	if l.Bailed() {
+		return
+	}
+	if l.Replaying() {
+		l.Next()
+		return
+	}
+	if !c.T.s.TxBranch(pc, taken, dependsOnLoad) {
+		c.T.bailOrFail(l)
+		return
+	}
+	l.Record(0, false)
+}
+
+// Abort executes the conventional always-taken abort trap under the
+// journaling context (the lock-elision/hybrid conflict idiom). It returns
+// normally only when the trap was interrupted by a pending yield (the log
+// bailed) or the log is already bailed; otherwise it unwinds txFailed.
+func (c StepCtx) Abort() {
+	if c.Log.Bailed() {
+		return
+	}
+	c.T.s.TxAbortTrap()
+	c.T.bailOrFail(c.Log)
+}
+
+// Div implements core.Ctx. Div never completes (divide aborts on Rock), so
+// nothing is journaled; it returns normally only on a yield bail.
+func (c StepCtx) Div() {
+	if c.Log.Bailed() {
+		return
+	}
+	c.T.s.TxDiv()
+	c.T.bailOrFail(c.Log)
+}
+
+// Call implements core.Ctx. Call never completes (save/restore aborts), so
+// nothing is journaled; it returns normally only on a yield bail.
+func (c StepCtx) Call() {
+	if c.Log.Bailed() {
+		return
+	}
+	c.T.s.TxSaveRestore()
+	c.T.bailOrFail(c.Log)
+}
+
+// Strand implements core.Ctx.
+func (c StepCtx) Strand() *sim.Strand { return c.T.Strand() }
+
+// runStepBody executes one journaled run of an atomic-block body,
+// converting the txFailed unwind into a flag: failed means the hardware
+// transaction aborted. Yield interruptions do not unwind — they bail the
+// body's OpLog and the body returns normally (the caller checks Bailed) —
+// but the recover keeps core.YieldSignal working as a backstop for Txn
+// methods invoked outside the journaling context.
+func runStepBody(run func()) (failed, yielded bool) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case txFailed:
+			failed = true
+		case core.YieldSignal:
+			yielded = true
+		default:
+			panic(r)
+		}
+	}()
+	run()
+	return
+}
+
+// Attempt phases of a StepTry.
+const (
+	tryBegin uint8 = iota
+	tryGuard
+	tryGuardAbort
+	tryBody
+	tryCommit
+)
+
+// StepTry is one hardware transaction attempt as a continuation machine —
+// the resumable equivalent of Try. The optional guard probe reproduces the
+// lock-elision/PhTM idiom of reading a sentinel word first and explicitly
+// aborting when it is nonzero, and the CPS register is read exactly once
+// per failed attempt, after the failure, matching Try's semantics.
+type StepTry struct {
+	s     *sim.Strand
+	run   func() // body under a journaling ctx; unwinds YieldSignal/txFailed
+	log   *core.OpLog
+	guard sim.Addr
+	probe bool
+	phase uint8
+}
+
+// Init binds the machine to its strand, journal and body runner. A block
+// calls Init once and re-arms the same machine for every attempt.
+func (t *StepTry) Init(s *sim.Strand, log *core.OpLog, run func()) {
+	t.s, t.log, t.run = s, log, run
+}
+
+// Arm prepares one hardware attempt. When probe is set, the attempt loads
+// guard right after the checkpoint and explicitly aborts if it is nonzero.
+func (t *StepTry) Arm(guard sim.Addr, probe bool) {
+	t.guard, t.probe = guard, probe
+	t.phase = tryBegin
+}
+
+// Step advances the attempt. done=false means the strand must yield (the
+// driver re-invokes Step after the next grant). Once done, committed and
+// status mirror Try's results; status is meaningful only on failure.
+func (t *StepTry) Step() (done, committed bool, status cps.Bits) {
+	s := t.s
+	for {
+		switch t.phase {
+		case tryBegin:
+			s.TxBegin()
+			if s.YieldPending() {
+				return false, false, 0
+			}
+			t.log.Reset()
+			if t.probe {
+				t.phase = tryGuard
+			} else {
+				t.phase = tryBody
+			}
+		case tryGuard:
+			w, ok := s.TxLoad(t.guard)
+			if s.YieldPending() {
+				return false, false, 0
+			}
+			if !ok {
+				return true, false, s.CPS()
+			}
+			if w != 0 {
+				t.phase = tryGuardAbort
+			} else {
+				t.phase = tryBody
+			}
+		case tryGuardAbort:
+			s.TxAbortTrap()
+			if s.YieldPending() {
+				return false, false, 0
+			}
+			return true, false, s.CPS()
+		case tryBody:
+			t.log.Rewind()
+			failed, yielded := runStepBody(t.run)
+			if yielded || t.log.Bailed() {
+				return false, false, 0
+			}
+			if failed {
+				return true, false, s.CPS()
+			}
+			t.phase = tryCommit
+		default: // tryCommit
+			if s.TxCommit() {
+				return true, true, 0
+			}
+			if s.YieldPending() {
+				return false, false, 0
+			}
+			return true, false, s.CPS()
+		}
+	}
+}

@@ -149,13 +149,16 @@ func (f *faultInjector) onTxStorePage(s *Strand, page int32) {
 // FaultProfileNames lists the named fault profiles in experiment order;
 // the first is always the no-fault baseline.
 func FaultProfileNames() []string {
-	return []string{"none", "interrupts", "tlb", "inval", "squeeze"}
+	return []string{"none", "interrupts", "tlb", "inval", "evict", "squeeze"}
 }
 
 // FaultProfile returns a named fault plan for the policy-ablation
 // experiments: "none" (baseline), "interrupts" (spurious ASYNC),
 // "tlb" (micro-DTLB shootdowns on stores), "inval" (adversarial COH
-// invalidations) and "squeeze" (store/deferred queue capacity squeeze).
+// invalidations), "evict" (adversarial displacement of marked lines from
+// the attempt's own L1 — LD dooms under the default design, absorbed up
+// to the sticky bound under Config.HTM.StickyLines) and "squeeze"
+// (store/deferred queue capacity squeeze).
 // It panics on unknown names; profiles are always requested from code.
 func FaultProfile(name string) FaultPlan {
 	switch name {
@@ -167,6 +170,8 @@ func FaultProfile(name string) FaultPlan {
 		return FaultPlan{TLBShootdownProb: 0.35}
 	case "inval":
 		return FaultPlan{InvalidateProb: 0.02}
+	case "evict":
+		return FaultPlan{EvictMarkedProb: 0.02}
 	case "squeeze":
 		return FaultPlan{SqueezeStoreQueue: 4, SqueezeDeferredQueue: 8}
 	}

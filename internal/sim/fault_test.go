@@ -133,6 +133,28 @@ func TestFaultSqueezeInjectsOverflow(t *testing.T) {
 	}
 }
 
+// TestFaultEvictProfileInjectsLD checks the named evict profile's decision
+// table on the default (zero-tolerance) design: every injected displacement
+// of a marked line dooms the transaction with an LD-flavoured CPS (the same
+// reason an organic capacity eviction produces), and nothing else fires.
+// The sticky-design half of the table — absorption up to the bound, then
+// LD|SIZ — is pinned by TestEvictMarkedFaultRespectsDesign in design_test.go.
+func TestFaultEvictProfileInjectsLD(t *testing.T) {
+	p := FaultProfile("evict")
+	if p.EvictMarkedProb <= 0 {
+		t.Fatalf("evict profile does not enable EvictMarkedProb: %+v", p)
+	}
+	hist, _ := runFaultWorkload(p, 400, 4)
+	if n := countWith(hist, cps.LD); n == 0 {
+		t.Fatalf("no LD aborts under the evict profile: %v", hist)
+	}
+	for c := range hist {
+		if !c.Has(cps.LD) {
+			t.Errorf("unexpected abort cause %v under the evict profile", c)
+		}
+	}
+}
+
 // TestFaultDeterminism checks that the fault schedule is a pure function
 // of the seeds: identical plans replay bit-for-bit, and the plan's own
 // Seed field changes the schedule without touching the workload seed.

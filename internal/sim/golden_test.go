@@ -78,104 +78,121 @@ func goldenRun(c goldenCase) (maxClock int64, digest string) {
 	codePage := PageOf(code)
 
 	m.Run(func(s *Strand) {
-		id := s.ID()
-		for i := 0; i < 300; i++ {
-			switch i % 10 {
-			case 0: // main-DTLB churn: strided loads over more pages than it holds
-				for k := 0; k < 6; k++ {
-					pg := (i*37 + k*113 + id*59) % goldenArenaPages
-					s.Load(arena + Addr(pg*PageWords) + Addr((i*7+k)%PageWords))
-				}
-			case 1: // shared-line coherence traffic + predictor training
-				a := shared + Addr(((i*5+id)%64)*WordsPerLine)
-				s.Store(a, Word(i*3+id))
-				s.CAS(a, 0, Word(i))
-				s.Add(a, 1)
-				s.Branch(uint32(1000+i%17), (i+id)%3 == 0)
-			case 2: // read-write transaction with store-queue forwarding
-				s.TxBegin()
-				ok := true
-				for k := 0; k < 5 && ok; k++ {
-					a := shared + Addr(((i+k*3+id)%64)*WordsPerLine)
-					var v Word
-					if v, ok = s.TxLoad(a); !ok {
-						break
-					}
-					if ok = s.TxStore(a, v+1); !ok {
-						break
-					}
-					_, ok = s.TxLoad(a) // must forward from the store queue
-				}
-				if ok {
-					s.TxCommit()
-				}
-			case 3: // wide write set: fits SSE banks, overflows SE banks
-				s.TxBegin()
-				ok := true
-				for k := 0; k < 20 && ok; k++ {
-					ok = s.TxStore(shared+Addr(k*WordsPerLine), Word(k))
-				}
-				if ok {
-					s.TxCommit()
-				}
-			case 4: // long read set: deferred-queue pressure, UCTI branches
-				s.TxBegin()
-				ok := true
-				for k := 0; k < 12 && ok; k++ {
-					pg := (i*11 + k*211 + id*31) % goldenArenaPages
-					_, ok = s.TxLoad(arena + Addr(pg*PageWords) + Addr(k%PageWords))
-				}
-				if ok {
-					ok = s.TxBranch(uint32(2000+i%13), i%2 == 0, true)
-				}
-				if ok {
-					s.TxCommit()
-				}
-			case 5: // unsupported-instruction aborts
-				s.TxBegin()
-				if s.TxTrap(i%29 == 0) {
-					if s.TxExec(codePage) {
-						switch i % 3 {
-						case 0:
-							s.TxSaveRestore()
-						case 1:
-							s.TxDiv()
-						default:
-							s.TxStackWrite()
-							s.TxAbortTrap()
-						}
-					}
-				}
-			case 6: // OS events: remap, context-switch TLB flush, code fetch
-				if id == 0 && i%60 == 6 {
-					mem.Remap(arena, 40*PageWords)
-				}
-				if (i+id)%90 == 16 {
-					s.FlushTLBs()
-				}
-				s.Exec(codePage)
-				s.Load(arena + Addr((i%goldenArenaPages)*PageWords))
-			case 7: // transactional touch of possibly-remapped pages (LD|PREC, ST)
-				s.TxBegin()
-				pg := (i*3 + id) % 40
-				if _, ok := s.TxLoad(arena + Addr(pg*PageWords)); ok {
-					if s.TxStore(arena+Addr(pg*PageWords), Word(i)) {
-						s.TxCommit()
-					}
-				}
-			case 8: // pure compute + data-dependent branches
-				s.Advance(int64(10 + i%7))
-				s.Branch(uint32(i%23), s.Rand()%4 != 0)
-			default: // strand-RNG-driven mix
-				if s.RandIntn(2) == 0 {
-					s.Load(shared + Addr(s.RandIntn(64)*WordsPerLine))
-				} else {
-					s.Store(shared+Addr(s.RandIntn(64)*WordsPerLine), s.Rand())
-				}
-			}
-		}
+		goldenBody(s, mem, arena, shared, codePage)
 	})
 
+	return m.MaxClock(), goldenFold(m, cfg)
+}
+
+// goldenBody is the identity workload for one strand — every simulated
+// operation, OS event and RNG-draw pattern the matrix pins.
+// goldenStepBody (step_golden_test.go) is its continuation-machine
+// transcription; the two must stay op-for-op identical.
+func goldenBody(s *Strand, mem *Memory, arena, shared Addr, codePage int32) {
+	id := s.ID()
+	for i := 0; i < 300; i++ {
+		switch i % 10 {
+		case 0: // main-DTLB churn: strided loads over more pages than it holds
+			for k := 0; k < 6; k++ {
+				pg := (i*37 + k*113 + id*59) % goldenArenaPages
+				s.Load(arena + Addr(pg*PageWords) + Addr((i*7+k)%PageWords))
+			}
+		case 1: // shared-line coherence traffic + predictor training
+			a := shared + Addr(((i*5+id)%64)*WordsPerLine)
+			s.Store(a, Word(i*3+id))
+			s.CAS(a, 0, Word(i))
+			s.Add(a, 1)
+			s.Branch(uint32(1000+i%17), (i+id)%3 == 0)
+		case 2: // read-write transaction with store-queue forwarding
+			s.TxBegin()
+			ok := true
+			for k := 0; k < 5 && ok; k++ {
+				a := shared + Addr(((i+k*3+id)%64)*WordsPerLine)
+				var v Word
+				if v, ok = s.TxLoad(a); !ok {
+					break
+				}
+				if ok = s.TxStore(a, v+1); !ok {
+					break
+				}
+				_, ok = s.TxLoad(a) // must forward from the store queue
+			}
+			if ok {
+				s.TxCommit()
+			}
+		case 3: // wide write set: fits SSE banks, overflows SE banks
+			s.TxBegin()
+			ok := true
+			for k := 0; k < 20 && ok; k++ {
+				ok = s.TxStore(shared+Addr(k*WordsPerLine), Word(k))
+			}
+			if ok {
+				s.TxCommit()
+			}
+		case 4: // long read set: deferred-queue pressure, UCTI branches
+			s.TxBegin()
+			ok := true
+			for k := 0; k < 12 && ok; k++ {
+				pg := (i*11 + k*211 + id*31) % goldenArenaPages
+				_, ok = s.TxLoad(arena + Addr(pg*PageWords) + Addr(k%PageWords))
+			}
+			if ok {
+				ok = s.TxBranch(uint32(2000+i%13), i%2 == 0, true)
+			}
+			if ok {
+				s.TxCommit()
+			}
+		case 5: // unsupported-instruction aborts
+			s.TxBegin()
+			if s.TxTrap(i%29 == 0) {
+				if s.TxExec(codePage) {
+					switch i % 3 {
+					case 0:
+						s.TxSaveRestore()
+					case 1:
+						s.TxDiv()
+					default:
+						s.TxStackWrite()
+						s.TxAbortTrap()
+					}
+				}
+			}
+		case 6: // OS events: remap, context-switch TLB flush, code fetch
+			if id == 0 && i%60 == 6 {
+				mem.Remap(arena, 40*PageWords)
+			}
+			if (i+id)%90 == 16 {
+				s.FlushTLBs()
+			}
+			s.Exec(codePage)
+			s.Load(arena + Addr((i%goldenArenaPages)*PageWords))
+		case 7: // transactional touch of possibly-remapped pages (LD|PREC, ST)
+			s.TxBegin()
+			pg := (i*3 + id) % 40
+			if _, ok := s.TxLoad(arena + Addr(pg*PageWords)); ok {
+				if s.TxStore(arena+Addr(pg*PageWords), Word(i)) {
+					s.TxCommit()
+				}
+			}
+		case 8: // pure compute + data-dependent branches
+			s.Advance(int64(10 + i%7))
+			s.Branch(uint32(i%23), s.Rand()%4 != 0)
+		default: // strand-RNG-driven mix
+			if s.RandIntn(2) == 0 {
+				s.Load(shared + Addr(s.RandIntn(64)*WordsPerLine))
+			} else {
+				s.Store(shared+Addr(s.RandIntn(64)*WordsPerLine), s.Rand())
+			}
+		}
+	}
+}
+
+// goldenFold folds everything observable about a finished run — per-strand
+// clocks, all event counters, the post-run RNG position (pinning exactly
+// how much randomness each strand consumed), and a stride over simulated
+// memory — into one digest.
+func goldenFold(m *Machine, cfg Config) string {
+	mem := m.Mem()
 	h := sha256.New()
 	var buf [8]byte
 	w64 := func(v uint64) {
@@ -199,7 +216,7 @@ func goldenRun(c goldenCase) (maxClock int64, digest string) {
 	for a := Addr(0); int(a) < mem.Size(); a += 97 {
 		w64(mem.Peek(a))
 	}
-	return m.MaxClock(), hex.EncodeToString(h.Sum(nil)[:16])
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // TestGoldenCycleIdentity locks the simulator to its pre-optimization

@@ -125,11 +125,22 @@ func newMemory(words int) *Memory {
 // recycle surrenders the backing arrays to the process-wide pool. The Memory
 // must not be written afterwards; reads see zeros (the empty-backing bounds
 // checks treat everything as untouched).
+//
+// The dirty mark is the allocator's high-water mark, not the backing's
+// grown length: simulated stores, coherence-directory traffic and Pokes
+// are all confined to handed-out addresses (every write path bounds itself
+// to mapped pages below next), while geometric growth can leave the
+// backing up to twice that size — scrubbing only the truly written prefix
+// halves the next owner's memclr.
 func (m *Memory) recycle() {
 	if len(m.words) == 0 {
 		return
 	}
-	backingPool.Put(&memBacking{words: m.words, lines: m.lines, dirty: len(m.words)})
+	dirty := (int(m.next) + WordsPerLine - 1) &^ (WordsPerLine - 1)
+	if dirty > len(m.words) {
+		dirty = len(m.words)
+	}
+	backingPool.Put(&memBacking{words: m.words, lines: m.lines, dirty: dirty})
 	m.words, m.lines = nil, nil
 }
 

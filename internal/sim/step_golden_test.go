@@ -1,0 +1,386 @@
+package sim
+
+import "testing"
+
+// This file is the differential pin of the continuation driver: the golden
+// identity workload (golden_test.go) transcribed op-for-op into an explicit
+// continuation state machine and run under Machine.RunStepped against the
+// same digest matrix. Same heap decisions, same clocks, same RNG draws —
+// byte-identical digests — or the step driver is wrong.
+//
+// The transcription follows the step-body discipline the driver demands:
+//   - after every yieldable operation, check YieldPending and return false
+//     without committing the operation's results (they are meaningless) or
+//     advancing the machine's state index, so the re-invoked body re-runs
+//     exactly that operation;
+//   - every RNG draw or host-side mutation that precedes a yieldable
+//     operation lives in its own guarded state, so it fires exactly once.
+
+// goldenStepBody is goldenBody as a continuation machine. st is the state
+// index within the current iteration's case; k is the inner loop counter;
+// both reset when i advances.
+func goldenStepBody(s *Strand, mem *Memory, arena, shared Addr, codePage int32) StepFn {
+	id := s.ID()
+	var (
+		i, k, st int
+		ok       bool
+		v        Word
+		addr     Addr
+		val      Word
+		isLoad   bool
+		rtaken   bool
+	)
+	return func() bool {
+		for i < 300 {
+			switch i % 10 {
+			case 0: // main-DTLB churn
+				for k < 6 {
+					pg := (i*37 + k*113 + id*59) % goldenArenaPages
+					s.Load(arena + Addr(pg*PageWords) + Addr((i*7+k)%PageWords))
+					if s.YieldPending() {
+						return false
+					}
+					k++
+				}
+			case 1: // shared-line coherence traffic + predictor training
+				a := shared + Addr(((i*5+id)%64)*WordsPerLine)
+				if st == 0 {
+					s.Store(a, Word(i*3+id))
+					if s.YieldPending() {
+						return false
+					}
+					st = 1
+				}
+				if st == 1 {
+					s.CAS(a, 0, Word(i))
+					if s.YieldPending() {
+						return false
+					}
+					st = 2
+				}
+				if st == 2 {
+					s.Add(a, 1)
+					if s.YieldPending() {
+						return false
+					}
+					st = 3
+				}
+				s.Branch(uint32(1000+i%17), (i+id)%3 == 0)
+				if s.YieldPending() {
+					return false
+				}
+			case 2: // read-write transaction with store-queue forwarding
+				if st == 0 {
+					s.TxBegin()
+					if s.YieldPending() {
+						return false
+					}
+					ok = true
+					st = 1
+				}
+				for ok && k < 5 {
+					a := shared + Addr(((i+k*3+id)%64)*WordsPerLine)
+					if st == 1 {
+						v2, ok2 := s.TxLoad(a)
+						if s.YieldPending() {
+							return false
+						}
+						v, ok = v2, ok2
+						if !ok {
+							break
+						}
+						st = 2
+					}
+					if st == 2 {
+						ok2 := s.TxStore(a, v+1)
+						if s.YieldPending() {
+							return false
+						}
+						ok = ok2
+						if !ok {
+							break
+						}
+						st = 3
+					}
+					_, ok2 := s.TxLoad(a) // must forward from the store queue
+					if s.YieldPending() {
+						return false
+					}
+					ok = ok2
+					st = 1
+					k++
+				}
+				if ok {
+					s.TxCommit()
+					if s.YieldPending() {
+						return false
+					}
+				}
+			case 3: // wide write set
+				if st == 0 {
+					s.TxBegin()
+					if s.YieldPending() {
+						return false
+					}
+					ok = true
+					st = 1
+				}
+				for ok && k < 20 {
+					ok2 := s.TxStore(shared+Addr(k*WordsPerLine), Word(k))
+					if s.YieldPending() {
+						return false
+					}
+					ok = ok2
+					k++
+				}
+				if ok {
+					s.TxCommit()
+					if s.YieldPending() {
+						return false
+					}
+				}
+			case 4: // long read set + UCTI branch
+				if st == 0 {
+					s.TxBegin()
+					if s.YieldPending() {
+						return false
+					}
+					ok = true
+					st = 1
+				}
+				if st == 1 {
+					for ok && k < 12 {
+						pg := (i*11 + k*211 + id*31) % goldenArenaPages
+						_, ok2 := s.TxLoad(arena + Addr(pg*PageWords) + Addr(k%PageWords))
+						if s.YieldPending() {
+							return false
+						}
+						ok = ok2
+						k++
+					}
+					st = 2
+				}
+				if st == 2 {
+					if ok {
+						ok2 := s.TxBranch(uint32(2000+i%13), i%2 == 0, true)
+						if s.YieldPending() {
+							return false
+						}
+						ok = ok2
+					}
+					st = 3
+				}
+				if ok {
+					s.TxCommit()
+					if s.YieldPending() {
+						return false
+					}
+				}
+			case 5: // unsupported-instruction aborts
+				if st == 0 {
+					s.TxBegin()
+					if s.YieldPending() {
+						return false
+					}
+					st = 1
+				}
+				if st == 1 {
+					t := s.TxTrap(i%29 == 0)
+					if s.YieldPending() {
+						return false
+					}
+					if t {
+						st = 2
+					} else {
+						st = 9
+					}
+				}
+				if st == 2 {
+					t := s.TxExec(codePage)
+					if s.YieldPending() {
+						return false
+					}
+					if t {
+						st = 3
+					} else {
+						st = 9
+					}
+				}
+				if st == 3 {
+					switch i % 3 {
+					case 0:
+						s.TxSaveRestore()
+						if s.YieldPending() {
+							return false
+						}
+						st = 9
+					case 1:
+						s.TxDiv()
+						if s.YieldPending() {
+							return false
+						}
+						st = 9
+					default:
+						s.TxStackWrite()
+						if s.YieldPending() {
+							return false
+						}
+						st = 4
+					}
+				}
+				if st == 4 {
+					s.TxAbortTrap()
+					if s.YieldPending() {
+						return false
+					}
+				}
+			case 6: // OS events: remap, TLB flush, code fetch
+				if st == 0 {
+					// Host-side OS events cannot yield; their own state keeps
+					// them from replaying if a later operation does.
+					if id == 0 && i%60 == 6 {
+						mem.Remap(arena, 40*PageWords)
+					}
+					if (i+id)%90 == 16 {
+						s.FlushTLBs()
+					}
+					st = 1
+				}
+				if st == 1 {
+					s.Exec(codePage)
+					if s.YieldPending() {
+						return false
+					}
+					st = 2
+				}
+				s.Load(arena + Addr((i%goldenArenaPages)*PageWords))
+				if s.YieldPending() {
+					return false
+				}
+			case 7: // transactional touch of possibly-remapped pages
+				pg := (i*3 + id) % 40
+				if st == 0 {
+					s.TxBegin()
+					if s.YieldPending() {
+						return false
+					}
+					st = 1
+				}
+				if st == 1 {
+					_, ok2 := s.TxLoad(arena + Addr(pg*PageWords))
+					if s.YieldPending() {
+						return false
+					}
+					if ok2 {
+						st = 2
+					} else {
+						st = 9
+					}
+				}
+				if st == 2 {
+					ok2 := s.TxStore(arena+Addr(pg*PageWords), Word(i))
+					if s.YieldPending() {
+						return false
+					}
+					if ok2 {
+						st = 3
+					} else {
+						st = 9
+					}
+				}
+				if st == 3 {
+					s.TxCommit()
+					if s.YieldPending() {
+						return false
+					}
+				}
+			case 8: // pure compute + data-dependent branch
+				if st == 0 {
+					s.Advance(int64(10 + i%7))
+					if s.YieldPending() {
+						return false
+					}
+					st = 1
+				}
+				if st == 1 {
+					rtaken = s.Rand()%4 != 0
+					st = 2
+				}
+				s.Branch(uint32(i%23), rtaken)
+				if s.YieldPending() {
+					return false
+				}
+			default: // strand-RNG-driven mix
+				if st == 0 {
+					if s.RandIntn(2) == 0 {
+						isLoad = true
+						addr = shared + Addr(s.RandIntn(64)*WordsPerLine)
+					} else {
+						isLoad = false
+						addr = shared + Addr(s.RandIntn(64)*WordsPerLine)
+						val = s.Rand()
+					}
+					st = 1
+				}
+				if isLoad {
+					s.Load(addr)
+				} else {
+					s.Store(addr, val)
+				}
+				if s.YieldPending() {
+					return false
+				}
+			}
+			k, st = 0, 0
+			i++
+		}
+		return true
+	}
+}
+
+// goldenStepRun is goldenRun driven by the continuation machine.
+func goldenStepRun(c goldenCase) (maxClock int64, digest string) {
+	cfg := goldenConfig(c)
+	m := New(cfg)
+	mem := m.Mem()
+	arena := mem.Alloc(goldenArenaPages*PageWords, PageWords)
+	shared := mem.AllocLines(64 * WordsPerLine)
+	code := mem.Alloc(PageWords, PageWords)
+	codePage := PageOf(code)
+
+	m.RunStepped(func(s *Strand) StepFn {
+		return goldenStepBody(s, mem, arena, shared, codePage)
+	})
+
+	return m.MaxClock(), goldenFold(m, cfg)
+}
+
+// TestGoldenStepDriverIdentity runs the continuation-machine transcription
+// of the golden workload under RunStepped across the full identity matrix
+// and requires the exact digests the coroutine driver pins: the step driver
+// must make the same handoff decisions at the same clocks with the same
+// randomness, byte for byte.
+func TestGoldenStepDriverIdentity(t *testing.T) {
+	for _, c := range goldenMatrix {
+		maxClock, digest := goldenStepRun(c)
+		if maxClock != c.maxClock || digest != c.digest {
+			t.Errorf("%s: step driver got (maxClock=%d, digest=%s), pinned (maxClock=%d, digest=%s)",
+				c.name, maxClock, digest, c.maxClock, c.digest)
+		}
+	}
+}
+
+// TestRunSteppedRejectsSimWorkInStart pins the start-callback contract:
+// constructing continuations must not advance simulated time.
+func TestRunSteppedRejectsSimWorkInStart(t *testing.T) {
+	m := New(DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunStepped accepted a start callback that performed simulated work")
+		}
+	}()
+	m.RunStepped(func(s *Strand) StepFn {
+		s.Advance(1)
+		return func() bool { return true }
+	})
+}

@@ -73,6 +73,19 @@ type Strand struct {
 	// which deadline actually fired and recomputes the fold.
 	limit int64
 
+	// Continuation-driver state (Machine.RunStepped). stepped marks the
+	// strand as driven by a step body: crossing yieldLimit records a
+	// pending yield and returns to the caller instead of switching stacks.
+	// When a yield fires mid-operation, yieldPending tells the operation to
+	// bail out before any side effect, and chargeDebt remembers the advance
+	// charge the driver must undo before re-invoking the step body — the
+	// re-invoked operation re-charges it, so parking keys and resumed
+	// clocks are bit-identical to the coroutine driver's.
+	stepped      bool
+	yieldPending bool
+	chargeDebt   int64
+	stepFn       StepFn
+
 	rng rng
 	l1  *l1Cache
 	mmu mmu
@@ -174,6 +187,14 @@ func (s *Strand) RandIntn(n int) int { return s.rng.Intn(n) }
 // Advance charges n cycles of pure compute (no memory traffic).
 func (s *Strand) Advance(n int64) { s.advance(n) }
 
+// YieldPending reports whether the last simulated operation was interrupted
+// by a pending yield under the continuation driver (Machine.RunStepped).
+// When true, the operation performed no side effect beyond its (soon to be
+// undone) cycle charge and its zero-value results are meaningless; the step
+// body must return control to the driver and re-invoke the same operation
+// when resumed. Always false under the coroutine driver.
+func (s *Strand) YieldPending() bool { return s.yieldPending }
+
 // advance is the per-event hot path: it is small enough to inline into
 // every memory-operation method, so the common case costs one add and one
 // compare. The checks the old per-advance code did unconditionally
@@ -182,13 +203,21 @@ func (s *Strand) Advance(n int64) { s.advance(n) }
 func (s *Strand) advance(n int64) {
 	s.clock += n
 	if s.clock > s.limit {
-		s.advanceSlow()
+		s.advanceSlow(n)
 	}
 }
 
 // advanceSlow handles a crossed deadline, in the same order the checks ran
 // when they were unconditional: MaxCycles guard, interrupt delivery, yield.
-func (s *Strand) advanceSlow() {
+// n is the charge the enclosing advance just applied; under the
+// continuation driver a yield records it as chargeDebt so the driver can
+// undo it before re-invoking the interrupted operation.
+func (s *Strand) advanceSlow(n int64) {
+	if s.yieldPending {
+		// Tripwire for a step-body discipline bug: a simulated operation ran
+		// after an earlier operation already recorded a pending yield.
+		panic(fmt.Sprintf("sim: strand %d performed a simulated operation past a pending yield", s.id))
+	}
 	if max := s.m.cfg.MaxCycles; max > 0 && s.clock > max {
 		panic(fmt.Sprintf("sim: strand %d exceeded MaxCycles=%d (virtual livelock?)", s.id, max))
 	}
@@ -199,6 +228,14 @@ func (s *Strand) advanceSlow() {
 		}
 	}
 	if s.clock > s.yieldLimit {
+		if s.stepped {
+			// Continuation driver: record the yield and the charge to undo;
+			// the interrupted operation bails out before any side effect and
+			// control returns to RunStepped's loop through ordinary returns.
+			s.yieldPending = true
+			s.chargeDebt = n
+			return
+		}
 		// The driver's grant() recomputes the folded limit (after any
 		// nextInterrupt update above) when it resumes us, so there is
 		// nothing left to refresh here.
@@ -465,6 +502,9 @@ func (s *Strand) ntTouch() {
 func (s *Strand) Load(a Addr) Word {
 	s.assertNoTxn("Load")
 	s.advance(s.m.cfg.Costs.Op)
+	if s.yieldPending {
+		return 0
+	}
 	s.stats.Loads++
 	line := LineOf(a)
 	p := PageOf(a)
@@ -489,6 +529,9 @@ func (s *Strand) Load(a Addr) Word {
 func (s *Strand) Store(a Addr, w Word) {
 	s.assertNoTxn("Store")
 	s.advance(s.m.cfg.Costs.Op)
+	if s.yieldPending {
+		return
+	}
 	s.stats.Stores++
 	line := LineOf(a)
 	p := PageOf(a)
@@ -515,6 +558,9 @@ func (s *Strand) Store(a Addr, w Word) {
 func (s *Strand) CAS(a Addr, old, new Word) (Word, bool) {
 	s.assertNoTxn("CAS")
 	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
+	if s.yieldPending {
+		return 0, false
+	}
 	s.stats.CASes++
 	line := LineOf(a)
 	p := PageOf(a)
@@ -540,6 +586,9 @@ func (s *Strand) CAS(a Addr, old, new Word) (Word, bool) {
 func (s *Strand) Add(a Addr, delta Word) Word {
 	s.assertNoTxn("Add")
 	s.advance(s.m.cfg.Costs.Op + s.m.cfg.Costs.CASExtra)
+	if s.yieldPending {
+		return 0
+	}
 	s.stats.CASes++
 	line := LineOf(a)
 	p := PageOf(a)
@@ -561,6 +610,9 @@ func (s *Strand) Add(a Addr, delta Word) Word {
 // the predictor is wrong.
 func (s *Strand) Branch(pc uint32, taken bool) {
 	s.advance(s.m.cfg.Costs.Op)
+	if s.yieldPending {
+		return
+	}
 	if s.bp.predict(pc, taken) {
 		s.stats.Mispredicts++
 		s.clock += s.m.cfg.Costs.Mispredict
@@ -571,6 +623,9 @@ func (s *Strand) Branch(pc uint32, taken bool) {
 // ITLB on a miss (outside transactions the walk just costs time).
 func (s *Strand) Exec(codePage int32) {
 	s.advance(s.m.cfg.Costs.Op)
+	if s.yieldPending {
+		return
+	}
 	pg := &s.m.mem.pages[codePage]
 	if !s.mmu.itlb.lookup(codePage, pg.gen) {
 		s.clock += s.m.cfg.Costs.TLBWalk

@@ -1,0 +1,293 @@
+// Continuation-machine execution (sim.RunStepped) for SkySTM: the retry
+// loop, the commit protocol (orec locking, reader draining with its backoff
+// spins, apply, release) and the announcement-withdrawal cleanup become
+// explicit state machines, and the barriers journal their simulated
+// operations so a yield-interrupted body re-runs against its OpLog.
+// Operation sequences are op-for-op identical to the coroutine path.
+package sky
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm"
+)
+
+// skyStep phases.
+const (
+	skBody uint8 = iota
+	skCommit
+	skCleanup
+	skBackoff
+)
+
+// Commit sub-machine states.
+const (
+	scLockScan uint8 = iota
+	scLockLoad
+	scLockCAS
+	scDrainTop
+	scDrainSum
+	scDrainBack
+	scApply
+	scRelease
+)
+
+// Cleanup sub-machine states.
+const (
+	clRestore uint8 = iota
+	clWithdraw
+)
+
+// skyStep is one Sky atomic block as a continuation machine.
+type skyStep struct {
+	y    *System
+	c    *Txn
+	s    *sim.Strand
+	body func(core.Ctx)
+	log  core.OpLog
+	back core.StepBackoff
+
+	phase   uint8
+	attempt int
+	fresh   bool // begin's host resets still owed before the next body run
+
+	// commit sub-machine
+	cst   uint8
+	ci    int
+	co    sim.Word
+	di    int
+	sh    int
+	total sim.Word
+	spin  int
+	dback core.StepBackoff
+
+	// cleanup sub-machine
+	clSt   uint8
+	ri     int
+	failed bool
+}
+
+// Step implements core.StepBlock.
+func (b *skyStep) Step() bool {
+	y, c, s := b.y, b.c, b.s
+	for {
+		switch b.phase {
+		case skBody:
+			if b.fresh {
+				c.lockOrecs = c.lockOrecs[:0]
+				c.lockPrev = c.lockPrev[:0]
+				b.log.Reset()
+				b.fresh = false
+			}
+			c.readIdx = c.readIdx[:0]
+			c.writeAddrs = c.writeAddrs[:0]
+			c.writeVals = c.writeVals[:0]
+			b.log.Rewind()
+			ok, yielded := stm.RunStepAttempt(b.body, c, &b.log)
+			if yielded {
+				return false
+			}
+			if !ok {
+				b.armCleanup(true)
+				continue
+			}
+			b.cst, b.ci = scLockScan, 0
+			b.phase = skCommit
+		case skCommit:
+			done, committed := b.stepCommit()
+			if !done {
+				return false
+			}
+			b.armCleanup(!committed)
+		case skCleanup:
+			if !b.stepCleanup() {
+				return false
+			}
+			if b.failed {
+				y.stats.SWAborts++
+				s.TraceEvent(obs.EvSWAbort, 0)
+				b.phase = skBackoff
+				continue
+			}
+			y.stats.Ops++
+			y.stats.SWCommits++
+			s.TraceEvent(obs.EvSWCommit, 0)
+			return true
+		default: // skBackoff
+			if !b.back.Step(s, b.attempt) {
+				return false
+			}
+			b.attempt++
+			b.fresh = true
+			b.phase = skBody
+		}
+	}
+}
+
+// armCleanup enters the cleanup phase for a failed or committed attempt.
+func (b *skyStep) armCleanup(failed bool) {
+	b.failed = failed
+	b.clSt, b.ri = clRestore, 0
+	if !failed {
+		b.clSt = clWithdraw
+	}
+	b.phase = skCleanup
+}
+
+// stepCommit advances Txn.commit as a continuation machine; false means
+// the strand must yield. Once done, committed mirrors commit().
+func (b *skyStep) stepCommit() (done, committed bool) {
+	c, s := b.c, b.s
+	for {
+		switch b.cst {
+		case scLockScan:
+			if len(c.writeAddrs) == 0 {
+				return true, true
+			}
+			if b.ci >= len(c.writeAddrs) {
+				b.di = 0
+				b.cst = scDrainTop
+				continue
+			}
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			if c.ownsOrec(orec) {
+				b.ci++
+				continue
+			}
+			b.cst = scLockLoad
+		case scLockLoad:
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			o := s.Load(orec)
+			if s.YieldPending() {
+				return false, false
+			}
+			if stm.Locked(o) {
+				return true, false
+			}
+			b.co = o
+			b.cst = scLockCAS
+		case scLockCAS:
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			_, ok := s.CAS(orec, b.co, b.co|stm.LockBit)
+			if s.YieldPending() {
+				return false, false
+			}
+			if !ok {
+				return true, false
+			}
+			c.lockOrecs = append(c.lockOrecs, orec)
+			c.lockPrev = append(c.lockPrev, b.co)
+			b.ci++
+			b.cst = scLockScan
+		case scDrainTop:
+			if b.di >= len(c.lockOrecs) {
+				b.ci = 0
+				b.cst = scApply
+				continue
+			}
+			b.spin, b.total, b.sh = 0, 0, 0
+			b.cst = scDrainSum
+		case scDrainSum:
+			idx := uint32(c.lockOrecs[b.di] - c.sys.orecs.Base())
+			for b.sh < readerShards {
+				w := s.Load(c.sys.readers[b.sh] + sim.Addr(idx))
+				if s.YieldPending() {
+					return false, false
+				}
+				b.total += w
+				b.sh++
+			}
+			self := sim.Word(0)
+			if c.announced(idx) {
+				self = 1
+			}
+			if b.total <= self {
+				b.di++
+				b.cst = scDrainTop
+				continue
+			}
+			if b.spin >= drainSpins {
+				return true, false
+			}
+			b.cst = scDrainBack
+		case scDrainBack:
+			if !b.dback.Step(s, b.spin) {
+				return false, false
+			}
+			b.spin++
+			b.total, b.sh = 0, 0
+			b.cst = scDrainSum
+		case scApply:
+			for b.ci < len(c.writeAddrs) {
+				s.Store(c.writeAddrs[b.ci], c.writeVals[b.ci])
+				if s.YieldPending() {
+					return false, false
+				}
+				b.ci++
+			}
+			b.ci = 0
+			b.cst = scRelease
+		default: // scRelease
+			for b.ci < len(c.lockOrecs) {
+				s.Store(c.lockOrecs[b.ci], stm.MakeOrec(stm.Version(c.lockPrev[b.ci])+1))
+				if s.YieldPending() {
+					return false, false
+				}
+				b.ci++
+			}
+			c.lockOrecs = c.lockOrecs[:0]
+			c.lockPrev = c.lockPrev[:0]
+			return true, true
+		}
+	}
+}
+
+// stepCleanup advances Txn.cleanup as a continuation machine; false means
+// the strand must yield.
+func (b *skyStep) stepCleanup() bool {
+	c, s := b.c, b.s
+	for {
+		switch b.clSt {
+		case clRestore:
+			for b.ri < len(c.lockOrecs) {
+				s.Store(c.lockOrecs[b.ri], c.lockPrev[b.ri])
+				if s.YieldPending() {
+					return false
+				}
+				b.ri++
+			}
+			c.lockOrecs = c.lockOrecs[:0]
+			c.lockPrev = c.lockPrev[:0]
+			b.ri = 0
+			b.clSt = clWithdraw
+		default: // clWithdraw
+			for b.ri < len(c.readIdx) {
+				s.Add(c.sys.shardAddr(c.readIdx[b.ri], s.ID()), ^sim.Word(0))
+				if s.YieldPending() {
+					return false
+				}
+				b.ri++
+			}
+			c.readIdx = c.readIdx[:0]
+			return true
+		}
+	}
+}
+
+// StepAtomic implements core.StepSystem.
+func (y *System) StepAtomic(s *sim.Strand, body func(core.Ctx), _ bool) core.StepBlock {
+	b := y.steps.Get(s.ID())
+	if b.c == nil {
+		b.y, b.s = y, s
+		b.c = y.ctxFor(s)
+	}
+	b.c.log = &b.log
+	b.body = body
+	b.phase = skBody
+	b.fresh = true
+	b.attempt = 0
+	return b
+}
+
+var _ core.StepSystem = (*System)(nil)

@@ -1,0 +1,236 @@
+// Continuation-machine execution (sim.RunStepped) for TL2: the retry loop,
+// the commit protocol's lock/validate/apply/release loops and the failure
+// cleanup become explicit state machines, and the read/write barriers
+// journal their simulated operations so a yield-interrupted body re-runs
+// against its OpLog. Operation sequences are op-for-op identical to the
+// coroutine path.
+package tl2
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/obs"
+	"rocktm/internal/sim"
+	"rocktm/internal/stm"
+)
+
+// tl2Step phases.
+const (
+	tlBegin uint8 = iota
+	tlBody
+	tlCommit
+	tlRelease
+	tlBackoff
+)
+
+// Commit sub-machine states.
+const (
+	cmLockScan uint8 = iota
+	cmLockLoad
+	cmLockCAS
+	cmClock
+	cmValidate
+	cmApply
+	cmReleaseNew
+)
+
+// tl2Step is one TL2 atomic block as a continuation machine.
+type tl2Step struct {
+	y    *System
+	c    *Txn
+	s    *sim.Strand
+	body func(core.Ctx)
+	log  core.OpLog
+	back core.StepBackoff
+
+	phase   uint8
+	attempt int
+
+	// commit sub-machine
+	cst uint8
+	ci  int
+	co  sim.Word
+	wv  sim.Word
+
+	// failure-cleanup index
+	ri int
+}
+
+// Step implements core.StepBlock.
+func (b *tl2Step) Step() bool {
+	y, c, s := b.y, b.c, b.s
+	for {
+		switch b.phase {
+		case tlBegin:
+			w := s.Load(y.clock)
+			if s.YieldPending() {
+				return false
+			}
+			c.rv = w
+			c.lockOrecs = c.lockOrecs[:0]
+			c.lockPrev = c.lockPrev[:0]
+			b.log.Reset()
+			b.phase = tlBody
+		case tlBody:
+			c.readOrecs = c.readOrecs[:0]
+			c.writeAddrs = c.writeAddrs[:0]
+			c.writeVals = c.writeVals[:0]
+			b.log.Rewind()
+			ok, yielded := stm.RunStepAttempt(b.body, c, &b.log)
+			if yielded {
+				return false
+			}
+			if !ok {
+				b.ri = 0
+				b.phase = tlRelease
+				continue
+			}
+			b.cst, b.ci = cmLockScan, 0
+			b.phase = tlCommit
+		case tlCommit:
+			done, committed := b.stepCommit()
+			if !done {
+				return false
+			}
+			if committed {
+				y.stats.Ops++
+				y.stats.SWCommits++
+				s.TraceEvent(obs.EvSWCommit, 0)
+				return true
+			}
+			b.ri = 0
+			b.phase = tlRelease
+		case tlRelease:
+			for b.ri < len(c.lockOrecs) {
+				s.Store(c.lockOrecs[b.ri], c.lockPrev[b.ri])
+				if s.YieldPending() {
+					return false
+				}
+				b.ri++
+			}
+			c.lockOrecs = c.lockOrecs[:0]
+			c.lockPrev = c.lockPrev[:0]
+			y.stats.SWAborts++
+			s.TraceEvent(obs.EvSWAbort, 0)
+			b.phase = tlBackoff
+		default: // tlBackoff
+			if !b.back.Step(s, b.attempt) {
+				return false
+			}
+			b.attempt++
+			b.phase = tlBegin
+		}
+	}
+}
+
+// stepCommit advances Txn.commit as a continuation machine; done=false
+// means the strand must yield. Once done, committed mirrors commit().
+func (b *tl2Step) stepCommit() (done, committed bool) {
+	c, s := b.c, b.s
+	for {
+		switch b.cst {
+		case cmLockScan:
+			if len(c.writeAddrs) == 0 {
+				return true, true // read-only fast path
+			}
+			if b.ci >= len(c.writeAddrs) {
+				b.cst = cmClock
+				continue
+			}
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			if c.ownsOrec(orec) {
+				b.ci++
+				continue
+			}
+			b.cst = cmLockLoad
+		case cmLockLoad:
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			o := s.Load(orec)
+			if s.YieldPending() {
+				return false, false
+			}
+			if stm.Locked(o) || stm.Version(o) > c.rv {
+				return true, false
+			}
+			b.co = o
+			b.cst = cmLockCAS
+		case cmLockCAS:
+			orec := c.sys.orecs.OrecOf(c.writeAddrs[b.ci])
+			_, ok := s.CAS(orec, b.co, b.co|stm.LockBit)
+			if s.YieldPending() {
+				return false, false
+			}
+			if !ok {
+				return true, false
+			}
+			c.lockOrecs = append(c.lockOrecs, orec)
+			c.lockPrev = append(c.lockPrev, b.co)
+			b.ci++
+			b.cst = cmLockScan
+		case cmClock:
+			wv := s.Add(c.sys.clock, 1)
+			if s.YieldPending() {
+				return false, false
+			}
+			b.wv = wv
+			b.ci = 0
+			if wv != c.rv+1 {
+				b.cst = cmValidate
+			} else {
+				b.cst = cmApply
+			}
+		case cmValidate:
+			for b.ci < len(c.readOrecs) {
+				o := s.Load(c.readOrecs[b.ci])
+				if s.YieldPending() {
+					return false, false
+				}
+				if stm.Locked(o) && !c.ownsOrec(c.readOrecs[b.ci]) {
+					return true, false
+				}
+				if !stm.Locked(o) && stm.Version(o) > c.rv {
+					return true, false
+				}
+				b.ci++
+			}
+			b.ci = 0
+			b.cst = cmApply
+		case cmApply:
+			for b.ci < len(c.writeAddrs) {
+				s.Store(c.writeAddrs[b.ci], c.writeVals[b.ci])
+				if s.YieldPending() {
+					return false, false
+				}
+				b.ci++
+			}
+			b.ci = 0
+			b.cst = cmReleaseNew
+		default: // cmReleaseNew
+			for b.ci < len(c.lockOrecs) {
+				s.Store(c.lockOrecs[b.ci], stm.MakeOrec(b.wv))
+				if s.YieldPending() {
+					return false, false
+				}
+				b.ci++
+			}
+			c.lockOrecs = c.lockOrecs[:0]
+			c.lockPrev = c.lockPrev[:0]
+			return true, true
+		}
+	}
+}
+
+// StepAtomic implements core.StepSystem.
+func (y *System) StepAtomic(s *sim.Strand, body func(core.Ctx), _ bool) core.StepBlock {
+	b := y.steps.Get(s.ID())
+	if b.c == nil {
+		b.y, b.s = y, s
+		b.c = y.ctxFor(s)
+	}
+	b.c.log = &b.log
+	b.body = body
+	b.phase = tlBegin
+	b.attempt = 0
+	return b
+}
+
+var _ core.StepSystem = (*System)(nil)

@@ -1,0 +1,347 @@
+// Continuation-machine execution (sim.RunStepped) for transactional lock
+// elision: executeOn's attempt loop becomes an explicit state machine whose
+// resume points are the elided attempt's transactional operations
+// (rock.StepTry), the policy backoff delay, the lock-held wait spin, the
+// throttle admission spin, and the fallback lock acquisition. The
+// simulated-operation sequence is op-for-op identical to the coroutine
+// path.
+package tle
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/cps"
+	"rocktm/internal/locktm"
+	"rocktm/internal/obs"
+	"rocktm/internal/policy"
+	"rocktm/internal/rock"
+	"rocktm/internal/sim"
+)
+
+// stepElidable is the continuation-machine face of an ElidableLock. The
+// two locktm adapters implement it; locks without it (e.g. JVM monitors)
+// keep their system on the coroutine driver.
+type stepElidable interface {
+	armAcquire(ro bool)
+	stepAcquire(s *sim.Strand, ro bool) bool
+	armRelease(ro bool)
+	stepRelease(s *sim.Strand, ro bool) bool
+}
+
+// spinElide steps a SpinAdapter lock.
+type spinElide struct {
+	l   *locktm.SpinLock
+	acq locktm.SpinAcquire
+}
+
+func (e *spinElide) armAcquire(bool) { e.acq.Arm() }
+func (e *spinElide) stepAcquire(s *sim.Strand, _ bool) bool {
+	return e.acq.Step(s, e.l)
+}
+func (e *spinElide) armRelease(bool) {}
+func (e *spinElide) stepRelease(s *sim.Strand, _ bool) bool {
+	return e.l.StepRelease(s)
+}
+
+// rwElide steps an RWAdapter lock.
+type rwElide struct {
+	l   *locktm.RWLock
+	acq locktm.RWAcquire
+	rel locktm.RWRelease
+}
+
+func (e *rwElide) armAcquire(ro bool) { e.acq.Arm(!ro) }
+func (e *rwElide) stepAcquire(s *sim.Strand, ro bool) bool {
+	return e.acq.Step(s, e.l)
+}
+func (e *rwElide) armRelease(bool) { e.rel.Arm() }
+func (e *rwElide) stepRelease(s *sim.Strand, ro bool) bool {
+	if ro {
+		return e.rel.Step(s, e.l)
+	}
+	return e.l.StepReleaseWrite(s)
+}
+
+// stepLockFor builds the stepping face of the system's lock, or nil when
+// the lock type has none.
+func (t *System) stepLockFor() stepElidable {
+	switch a := t.lock.(type) {
+	case SpinAdapter:
+		return &spinElide{l: a.L}
+	case RWAdapter:
+		return &rwElide{l: a.L}
+	}
+	return nil
+}
+
+// CanStep implements core.StepCapable: stepping needs a lock with a
+// continuation-machine face.
+func (t *System) CanStep() bool { return t.stepLockFor() != nil }
+
+// throttleEnter is Throttle.enter as a continuation machine.
+type throttleEnter struct {
+	st   uint8 // 0: load, 1: CAS, 2: backoff
+	spin int
+	cur  sim.Word
+	back core.StepBackoff
+}
+
+func (a *throttleEnter) arm() { *a = throttleEnter{} }
+
+// step advances admission; false means the strand must yield. took mirrors
+// enter's result and is meaningful once step returns true.
+func (a *throttleEnter) step(s *sim.Strand, th *Throttle) (done, took bool) {
+	if th.limit >= th.max {
+		return true, false
+	}
+	for {
+		switch a.st {
+		case 0:
+			cur := s.Load(th.active)
+			if s.YieldPending() {
+				return false, false
+			}
+			a.cur = cur
+			if int(cur) < th.limit {
+				a.st = 1
+			} else {
+				a.st = 2
+			}
+		case 1:
+			_, ok := s.CAS(th.active, a.cur, a.cur+1)
+			if s.YieldPending() {
+				return false, false
+			}
+			if ok {
+				return true, true
+			}
+			a.st = 0
+		default:
+			if !a.back.Step(s, a.spin) {
+				return false, false
+			}
+			a.spin++
+			a.st = 0
+		}
+	}
+}
+
+// tleStep phases.
+const (
+	tleDispatch uint8 = iota
+	tleThrottleEnter
+	tleAttemptTop
+	tleTry
+	tleDelay
+	tleWaitSpin
+	tleFallbackDecide
+	tleLockAcquire
+	tleBody
+	tleRelease
+	tleThrottleLeave
+)
+
+// tleStep is one elided atomic block as a continuation machine.
+type tleStep struct {
+	t    *System
+	s    *sim.Strand
+	lk   stepElidable
+	body func(core.Ctx)
+	// hwRun runs the body transactionally (rock.StepCtx), lockRun runs it
+	// under the held lock (core.StepRaw) — the same two contexts the
+	// coroutine path passes. Both ctxs are boxed once at init: a two-word
+	// ctx struct allocates on every interface conversion.
+	hwRun   func()
+	lockRun func()
+	hwCtx   core.Ctx
+	lockCtx core.Ctx
+	ro      bool
+
+	phase uint8
+	eng   policy.Engine
+	try   rock.StepTry
+	log   core.OpLog
+	back  core.StepBackoff
+	thr   throttleEnter
+	wait  struct {
+		st   uint8 // 0: load, 1: backoff
+		spin int
+		back core.StepBackoff
+	}
+
+	nextAct    policy.Action
+	delayAtt   int
+	took       bool
+	sawCOH     bool
+	fellToLock bool
+}
+
+// Step implements core.StepBlock.
+func (b *tleStep) Step() bool {
+	t, s, st := b.t, b.s, b.t.stats
+	for {
+		switch b.phase {
+		case tleDispatch:
+			s.Advance(2)
+			if s.YieldPending() {
+				return false
+			}
+			if t.throttle != nil {
+				b.thr.arm()
+				b.phase = tleThrottleEnter
+			} else {
+				b.phase = tleAttemptTop
+			}
+		case tleThrottleEnter:
+			done, took := b.thr.step(s, t.throttle)
+			if !done {
+				return false
+			}
+			b.took = took
+			b.phase = tleAttemptTop
+		case tleAttemptTop:
+			if b.eng.Exhausted() {
+				b.phase = tleFallbackDecide
+				continue
+			}
+			st.HWAttempts++
+			b.try.Arm(t.lock.Addr(), true)
+			b.phase = tleTry
+		case tleTry:
+			done, committed, c := b.try.Step()
+			if !done {
+				return false
+			}
+			if committed {
+				st.HWCommits++
+				st.Ops++
+				b.eng.OnCommit()
+				return b.exit()
+			}
+			if c.Has(cps.COH) {
+				b.sawCOH = true
+			}
+			st.RecordFailure(c)
+			act, delayAtt, delay := b.eng.DecideFailure(c)
+			b.nextAct, b.delayAtt = act, delayAtt
+			if delay {
+				b.phase = tleDelay
+			} else if !b.dispatchAct() {
+				continue
+			}
+		case tleDelay:
+			if !b.back.Step(s, b.delayAtt) {
+				return false
+			}
+			b.dispatchAct()
+		case tleWaitSpin:
+			w := &b.wait
+			for {
+				if w.st == 0 {
+					lw := s.Load(t.lock.Addr())
+					if s.YieldPending() {
+						return false
+					}
+					if lw == 0 {
+						b.phase = tleAttemptTop
+						break
+					}
+					w.st = 1
+				}
+				if !w.back.Step(s, w.spin) {
+					return false
+				}
+				w.spin++
+				w.st = 0
+			}
+		case tleFallbackDecide:
+			b.eng.OnFallback()
+			b.fellToLock = true
+			s.TraceEvent(obs.EvFallback, uint64(t.lock.Addr()))
+			b.lk.armAcquire(b.ro)
+			b.phase = tleLockAcquire
+		case tleLockAcquire:
+			if !b.lk.stepAcquire(s, b.ro) {
+				return false
+			}
+			b.log.Reset()
+			b.phase = tleBody
+		case tleBody:
+			b.log.Rewind()
+			if !core.RunJournaled(&b.log, b.lockRun) {
+				return false
+			}
+			b.lk.armRelease(b.ro)
+			b.phase = tleRelease
+		case tleRelease:
+			if !b.lk.stepRelease(s, b.ro) {
+				return false
+			}
+			st.LockAcquires++
+			st.Ops++
+			return b.exit()
+		default: // tleThrottleLeave
+			if b.took {
+				s.Add(t.throttle.active, ^sim.Word(0))
+				if s.YieldPending() {
+					return false
+				}
+				b.took = false
+			}
+			t.throttle.adjust(b.sawCOH && b.fellToLock)
+			return true
+		}
+	}
+}
+
+// dispatchAct routes a policy verdict to its phase; the false return means
+// the caller should continue the phase loop immediately.
+func (b *tleStep) dispatchAct() bool {
+	switch b.nextAct {
+	case policy.Wait:
+		b.wait.st, b.wait.spin = 0, 0
+		b.phase = tleWaitSpin
+	case policy.Fallback:
+		b.phase = tleFallbackDecide
+	default:
+		b.phase = tleAttemptTop
+	}
+	return false
+}
+
+// exit runs the block's completion: the deferred throttle leave when one
+// is installed, otherwise done.
+func (b *tleStep) exit() bool {
+	if b.t.enabled && b.t.throttle != nil {
+		b.phase = tleThrottleLeave
+		return b.Step()
+	}
+	return true
+}
+
+// StepAtomic implements core.StepSystem.
+func (t *System) StepAtomic(s *sim.Strand, body func(core.Ctx), ro bool) core.StepBlock {
+	b := t.steps.Get(s.ID())
+	if b.hwRun == nil {
+		b.t, b.s = t, s
+		b.lk = t.stepLockFor()
+		b.hwCtx = rock.StepCtx{T: rock.On(s), Log: &b.log}
+		b.lockCtx = core.StepRaw{S: s, Log: &b.log}
+		b.hwRun = func() { b.body(b.hwCtx) }
+		b.lockRun = func() { b.body(b.lockCtx) }
+		b.try.Init(s, &b.log, b.hwRun)
+	}
+	b.body, b.ro = body, ro
+	b.sawCOH, b.fellToLock, b.took = false, false, false
+	if t.enabled {
+		b.phase = tleDispatch
+		t.stats.HWBlocks++
+		b.eng = policy.Start(t.pol, 0)
+	} else {
+		b.lk.armAcquire(ro)
+		b.phase = tleLockAcquire
+	}
+	return b
+}
+
+var _ core.StepSystem = (*System)(nil)
+var _ core.StepCapable = (*System)(nil)

@@ -1,0 +1,93 @@
+// Continuation-machine execution (sim.RunStepped) for the workload driver:
+// Run becomes a resumable step function whose only simulated yield point of
+// its own is the open-loop arrival idle, with each operation's body supplied
+// as a core.StepBlock. Host draws (inter-arrival gap, op roll, key) fire
+// exactly once per operation, in the same order as Run, so both drivers
+// consume identical RNG streams.
+package workload
+
+import (
+	"rocktm/internal/core"
+	"rocktm/internal/sim"
+)
+
+// stepRun states.
+const (
+	wkTop uint8 = iota
+	wkArrive
+	wkBody
+)
+
+// stepRun is one strand's Run loop as a continuation machine.
+type stepRun struct {
+	d    *Driver
+	n    int
+	arm  func(i, op int, key uint64) core.StepBlock
+	open bool
+
+	st    uint8
+	i     int
+	start int64
+	sub   core.StepBlock
+}
+
+func (r *stepRun) step() bool {
+	d := r.d
+	for {
+		switch r.st {
+		case wkTop:
+			if r.i >= r.n {
+				return true
+			}
+			r.start = d.s.Clock()
+			if r.open {
+				d.tNext += d.gap()
+				if d.tNext > r.start {
+					r.st = wkArrive
+					continue
+				}
+			}
+			r.launch()
+		case wkArrive:
+			// The strand is idle until the next arrival; tNext and start are
+			// saved, so a resume re-charges the identical idle span.
+			d.s.Advance(d.tNext - r.start)
+			if d.s.YieldPending() {
+				return false
+			}
+			r.launch()
+		default: // wkBody
+			if !r.sub.Step() {
+				return false
+			}
+			if d.lat != nil {
+				d.lat.Record(d.s.Clock() - r.start)
+			}
+			if d.ws != nil {
+				d.ws.RecordLatencyAt(d.s.Clock(), d.s.Clock()-r.start)
+			}
+			r.i++
+			r.st = wkTop
+		}
+	}
+}
+
+// launch draws the next (op, key) pair and arms its step block — host work
+// that fires exactly once per operation. As in Run, open-loop latency is
+// measured from the arrival time.
+func (r *stepRun) launch() {
+	if r.open {
+		r.start = r.d.tNext
+	}
+	op, key := r.d.next()
+	r.sub = r.arm(r.i, op, key)
+	r.st = wkBody
+}
+
+// RunStepped is Run as a continuation body for sim.Machine.RunStepped:
+// arm(i, op, key) arms operation i's step block in place of do's direct
+// execution. The driver must outlive the returned step function.
+func (d *Driver) RunStepped(n int, arm func(i, op int, key uint64) core.StepBlock) sim.StepFn {
+	r := &stepRun{d: d, n: n, arm: arm, open: d.c.meanGap > 0}
+	return r.step
+}
